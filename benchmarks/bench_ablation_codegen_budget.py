@@ -1,0 +1,45 @@
+"""Ablation A1 — register-budget sweep for the codegen variants.
+
+Sweeps the per-thread double-precision register budget (the knob behind
+``__launch_bounds__``) and reports spill traffic per variant: lower
+occupancy (more registers) trades against spills, which is the design
+space §IV-B navigates.
+"""
+
+from conftest import write_table
+
+from repro.codegen import VARIANTS, analyze_schedule
+
+BUDGETS = [12, 16, 24, 32, 48, 64]
+
+
+def test_ablation_register_budget(benchmark, kernel_specs):
+    lines = [
+        "Ablation: spill bytes vs register budget (doubles/thread)",
+        f"{'budget':>7}" + "".join(f"{v:>16}" for v in VARIANTS),
+    ]
+    table = {}
+    for b in BUDGETS:
+        row = []
+        for v in VARIANTS:
+            spec = kernel_specs[v]
+            st = analyze_schedule(
+                spec.statements, spec.input_names, budget=b,
+                input_defs=spec.input_defs,
+            )
+            row.append(st.spill_bytes)
+        table[b] = row
+        lines.append(f"{b:>7}" + "".join(f"{x:>16}" for x in row))
+    print("\n" + write_table("ablation_codegen_budget", lines))
+
+    for i in range(len(VARIANTS)):
+        col = [table[b][i] for b in BUDGETS]
+        # more registers -> monotonically fewer spills
+        assert all(a >= b for a, b in zip(col, col[1:])), VARIANTS[i]
+    # the staged variant stays best (or tied) across the sweep midrange
+    for b in (16, 24, 32):
+        assert table[b][2] <= table[b][0]
+
+    spec = kernel_specs["binary-reduce"]
+    benchmark(lambda: analyze_schedule(spec.statements, spec.input_names,
+                                       budget=32))

@@ -1,0 +1,78 @@
+"""Ablation A3 — Kreiss–Oliger dissipation strength.
+
+Evolves the robust-stability testbed (round-off noise on flat space) at
+several σ_KO and reports noise growth: without dissipation the
+high-frequency content persists; with it the noise is damped — the
+reason the paper adds KO to every equation (§III-A).
+"""
+
+import numpy as np
+from conftest import write_table
+
+from repro.bssn import BSSNParams, robust_stability_state
+from repro.bssn import state as S
+from repro.mesh import Mesh
+from repro.octree import Domain, LinearOctree
+from repro.solver import BSSNSolver
+
+SIGMAS = [0.0, 0.1, 0.4]
+STEPS = 3
+AMP = 1e-8
+
+
+def _noise_after(sigma: float) -> float:
+    mesh = Mesh(LinearOctree.uniform(2, domain=Domain(-8.0, 8.0)))
+    solver = BSSNSolver(mesh, BSSNParams(ko_sigma=sigma))
+    solver.set_state(
+        robust_stability_state((mesh.num_octants, 7, 7, 7), amplitude=AMP)
+    )
+    for _ in range(STEPS):
+        solver.step()
+    dev = np.abs(solver.state[S.ALPHA] - 1.0).max()
+    return float(dev)
+
+
+def test_ablation_ko_dissipation(benchmark):
+    lines = [
+        f"Ablation: KO dissipation sweep ({STEPS} steps on 1e-8 noise)",
+        f"{'sigma':>7}{'max |alpha-1|':>15}",
+    ]
+    devs = {}
+    for s in SIGMAS:
+        devs[s] = _noise_after(s)
+        lines.append(f"{s:>7.2f}{devs[s]:>15.3e}")
+    lines.append("stronger dissipation damps the injected noise harder")
+    print("\n" + write_table("ablation_dissipation", lines))
+
+    # all stable at this scale; dissipation never amplifies the noise,
+    # and the strongest setting beats none
+    assert all(np.isfinite(v) for v in devs.values())
+    assert devs[0.4] <= devs[0.0] * 1.001
+    assert devs[0.4] < 100 * AMP
+
+    benchmark.pedantic(lambda: _noise_after(0.4), rounds=1, iterations=1)
+
+
+def test_ablation_advection_stencils(benchmark):
+    """Upwind vs centred advective derivatives on puncture data with a
+    nontrivial shift: both valid discretisations, O(h^5) apart."""
+    from repro.bssn import Puncture, bssn_rhs, mesh_puncture_state
+
+    mesh = Mesh(LinearOctree.uniform(2, domain=Domain(-8.0, 8.0)))
+    u = mesh_puncture_state(mesh, [Puncture(1.0, [0.0, 0.0, 0.0])])
+    u[S.BETA0] = 0.05  # nonzero shift activates the advection terms
+    patches = mesh.unzip(u)
+    r_up = bssn_rhs(patches, mesh.dx, BSSNParams(use_upwind=True, ko_sigma=0.0))
+    r_ce = bssn_rhs(patches, mesh.dx, BSSNParams(use_upwind=False, ko_sigma=0.0))
+    scale = np.abs(r_ce).max()
+    diff = np.abs(r_up - r_ce).max()
+    lines = [
+        "Ablation: upwind vs centred advection, puncture + constant shift",
+        f"max |RHS| = {scale:.3e}; upwind-centred difference = {diff:.3e} "
+        f"({diff / scale:.2e} relative)",
+    ]
+    print("\n" + write_table("ablation_advection", lines))
+    assert 0.0 < diff < 0.25 * scale
+
+    benchmark(lambda: bssn_rhs(patches, mesh.dx,
+                               BSSNParams(use_upwind=True)))

@@ -1,0 +1,33 @@
+"""Ablation A2 — Morton vs Hilbert partitioning (paper ref. [48]).
+
+Compares ghost-layer volume (communication surface) of SFC partitions
+cut along the Morton curve vs the Hilbert curve on a real BBH grid.
+"""
+
+import numpy as np
+from conftest import write_table
+
+from repro.octree import partition_octree, partition_octree_hilbert
+
+
+def test_ablation_partition_curves(benchmark, bbh_mesh_medium):
+    tree = bbh_mesh_medium.tree
+    adj = bbh_mesh_medium.adjacency
+    lines = [
+        f"Ablation: partition surface, Morton vs Hilbert ({len(tree)} octants)",
+        f"{'ranks':>6}{'morton pairs':>14}{'hilbert pairs':>15}{'ratio':>8}",
+    ]
+    ratios = []
+    for parts in (2, 4, 8, 16):
+        sm = int(partition_octree(tree, parts).boundary_surface(adj).sum())
+        sh = int(partition_octree_hilbert(tree, parts).boundary_surface(adj).sum())
+        ratios.append(sh / sm)
+        lines.append(f"{parts:>6}{sm:>14}{sh:>15}{sh / sm:>8.2f}")
+    lines.append(
+        f"mean Hilbert/Morton surface ratio: {np.mean(ratios):.2f} "
+        "(<= 1: Hilbert's locality reduces halo volume)"
+    )
+    print("\n" + write_table("ablation_partition", lines))
+
+    assert np.mean(ratios) <= 1.05
+    benchmark(lambda: partition_octree_hilbert(tree, 8))

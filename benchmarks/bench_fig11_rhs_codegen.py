@@ -1,0 +1,67 @@
+"""E4 — Fig. 11: time per octant for 10 RHS evaluations, three codegen
+variants, vs octant count (model-predicted A100 times driven by each
+variant's measured flop and spill traffic)."""
+
+import numpy as np
+from conftest import write_table
+
+from repro.codegen import VARIANTS
+from repro.gpu import A100, kernel_time, rhs_stats
+from repro.parallel import DEFAULT_O_A
+
+OCTANT_COUNTS = [400, 1352, 2360, 5384, 9304]  # the paper's grid sizes
+
+
+def _time_per_octant(variant, spill_stats, n_oct):
+    st = spill_stats[variant]
+    s = rhs_stats(
+        n_oct,
+        o_a=DEFAULT_O_A,
+        spill_bytes_per_point=float(st.spill_bytes),
+    )
+    return 10.0 * kernel_time(s, A100) / n_oct
+
+
+def test_fig11_rhs_codegen_variants(benchmark, spill_stats):
+    lines = [
+        "Fig. 11: modeled time per octant for 10 RHS evaluations (ms)",
+        f"{'octants':>8}" + "".join(f"{v:>16}" for v in VARIANTS),
+    ]
+    rows = {}
+    for n in OCTANT_COUNTS:
+        vals = [_time_per_octant(v, spill_stats, n) * 1e3 for v in VARIANTS]
+        rows[n] = dict(zip(VARIANTS, vals))
+        lines.append(f"{n:>8}" + "".join(f"{v:>16.4f}" for v in vals))
+    sgr = np.mean([rows[n]["sympygr"] for n in OCTANT_COUNTS])
+    br = np.mean([rows[n]["binary-reduce"] for n in OCTANT_COUNTS])
+    stg = np.mean([rows[n]["staged-cse"] for n in OCTANT_COUNTS])
+    lines.append(
+        f"average speedups vs SymPyGR: binary-reduce {sgr / br:.2f}x "
+        f"(paper 1.55x), staged+CSE {sgr / stg:.2f}x (paper 1.76x)"
+    )
+    print("\n" + write_table("fig11_rhs_codegen", lines))
+
+    # who-wins ordering as in the paper
+    assert stg < br < sgr
+    assert 1.1 < sgr / br < 2.2
+    assert 1.3 < sgr / stg < 2.4
+
+    benchmark(lambda: _time_per_octant("staged-cse", spill_stats, 2360))
+
+
+def test_fig11_real_kernel_execution(benchmark):
+    """Real (Python) execution of the staged kernel on a small batch —
+    correctness-bearing path for the modeled numbers above."""
+    from repro.bssn import Puncture, bssn_rhs, mesh_puncture_state
+    from repro.codegen import get_algebra_kernel
+    from repro.mesh import Mesh
+    from repro.octree import LinearOctree
+
+    mesh = Mesh(LinearOctree.uniform(2))
+    u = mesh_puncture_state(mesh, [Puncture(1.0, [0.2, 0.1, 0.0])])
+    patches = mesh.unzip(u)
+    alg = get_algebra_kernel("staged-cse")
+    result = benchmark.pedantic(
+        lambda: bssn_rhs(patches, mesh.dx, algebra=alg), rounds=2, iterations=1
+    )
+    assert np.isfinite(result).all()

@@ -1,0 +1,60 @@
+"""E7 — Fig. 15: 10 RHS evaluations, one A100 vs two EPYC sockets, vs
+octant count (model times; the CPU node parallelises patches over 128
+cores, the GPU over SMs — both are bandwidth bound, so the ratio tracks
+memory bandwidth)."""
+
+from conftest import write_table
+
+from repro.gpu import A100, EPYC_7763_NODE, kernel_time, rhs_stats
+from repro.parallel import DEFAULT_O_A
+
+OCTANT_COUNTS = [400, 1352, 2360, 5384, 9304]
+
+
+def test_fig15_rhs_gpu_vs_cpu(benchmark, spill_stats):
+    spill = float(spill_stats["staged-cse"].spill_bytes)
+    lines = [
+        "Fig. 15: wall clock for 10 RHS evaluations (model, seconds)",
+        f"{'octants':>8}{'A100':>12}{'2x EPYC':>12}{'speedup':>9}",
+    ]
+    speedups = []
+    for n in OCTANT_COUNTS:
+        s = rhs_stats(n, o_a=DEFAULT_O_A, spill_bytes_per_point=spill)
+        # the CPU runs the same generated kernel: same spill traffic
+        s_cpu = rhs_stats(n, o_a=DEFAULT_O_A, spill_bytes_per_point=spill)
+        tg = 10 * kernel_time(s, A100)
+        tc = 10 * kernel_time(s_cpu, EPYC_7763_NODE)
+        speedups.append(tc / tg)
+        lines.append(f"{n:>8}{tg:>12.4f}{tc:>12.4f}{tc / tg:>8.2f}x")
+    lines.append(
+        f"mean GPU speedup: {sum(speedups)/len(speedups):.2f}x "
+        "(paper Fig. 15/16: ~2.5x overall on a full node)"
+    )
+    print("\n" + write_table("fig15_rhs_gpu_cpu", lines))
+
+    # the GPU wins on every size, by a factor in the paper's regime
+    assert all(1.5 < s < 6.0 for s in speedups)
+
+    benchmark(
+        lambda: kernel_time(
+            rhs_stats(2360, o_a=DEFAULT_O_A, spill_bytes_per_point=spill), A100
+        )
+    )
+
+
+def test_fig15_real_rhs_wallclock(benchmark):
+    """Real Python RHS on a small batch (the functional path the model
+    abstracts)."""
+    import numpy as np
+
+    from repro.bssn import Puncture, bssn_rhs, mesh_puncture_state
+    from repro.mesh import Mesh
+    from repro.octree import LinearOctree
+
+    mesh = Mesh(LinearOctree.uniform(2))
+    u = mesh_puncture_state(mesh, [Puncture(1.0, [0.1, 0.0, 0.0])])
+    patches = mesh.unzip(u)
+    out = benchmark.pedantic(
+        lambda: bssn_rhs(patches, mesh.dx), rounds=2, iterations=1
+    )
+    assert np.isfinite(out).all()

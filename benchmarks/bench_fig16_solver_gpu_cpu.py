@@ -1,0 +1,59 @@
+"""E8 — Fig. 16: full BSSN solver, 5 RK4 steps, one A100 vs a two-socket
+EPYC node, for problem sizes 36M–104M unknowns (model times)."""
+
+from conftest import write_table
+
+from repro.gpu import EPYC_7763_NODE
+from repro.parallel import ScalingStudy
+
+UNKNOWN_COUNTS = [36e6, 52e6, 70e6, 88e6, 104e6]
+
+
+def test_fig16_solver_gpu_vs_cpu(benchmark, bbh_mesh_medium):
+    gpu = ScalingStudy(bbh_mesh_medium)
+    cpu = ScalingStudy(bbh_mesh_medium, machine=EPYC_7763_NODE)
+    lines = [
+        "Fig. 16: 5 RK4 steps, one A100 vs 2-socket EPYC node (model, s)",
+        f"{'unknowns':>10}{'A100':>10}{'EPYC node':>11}{'speedup':>9}",
+    ]
+    speedups = []
+    for n in UNKNOWN_COUNTS:
+        tg = 5 * gpu.step_cost(n / 343).total
+        tc = 5 * cpu.step_cost(n / 343).total
+        speedups.append(tc / tg)
+        lines.append(f"{n/1e6:>9.0f}M{tg:>10.2f}{tc:>11.2f}{tc / tg:>8.2f}x")
+    lines.append(
+        f"mean overall speedup {sum(speedups)/len(speedups):.2f}x "
+        "(paper: 2.5x overall A100 vs EPYC node)"
+    )
+    print("\n" + write_table("fig16_solver_gpu_cpu", lines))
+
+    assert all(1.5 < s < 5.0 for s in speedups)
+    # both scale ~linearly with problem size
+    tg_small = 5 * gpu.step_cost(UNKNOWN_COUNTS[0] / 343).total
+    tg_big = 5 * gpu.step_cost(UNKNOWN_COUNTS[-1] / 343).total
+    ratio = UNKNOWN_COUNTS[-1] / UNKNOWN_COUNTS[0]
+    assert 0.6 * ratio < tg_big / tg_small < 1.4 * ratio
+
+    benchmark(lambda: gpu.step_cost(70e6 / 343).total)
+
+
+def test_fig16_real_solver_step(benchmark):
+    """Real toy-scale solver step (the functional path)."""
+    import numpy as np
+
+    from repro.bssn import Puncture
+    from repro.mesh import Mesh
+    from repro.octree import Domain, LinearOctree
+    from repro.solver import BSSNSolver
+
+    mesh = Mesh(LinearOctree.uniform(2, domain=Domain(-12.0, 12.0)))
+    s = BSSNSolver(mesh)
+    s.set_punctures([Puncture(1.0, [0.0, 0.0, 0.0])])
+
+    def one_step():
+        s.step()
+        return s.state
+
+    state = benchmark.pedantic(one_step, rounds=1, iterations=1)
+    assert np.isfinite(state).all()

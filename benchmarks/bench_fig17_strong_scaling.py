@@ -1,0 +1,48 @@
+"""E9 — Fig. 17: strong scaling, 257M unknowns, 5 RK4 steps, GPUs and
+CPU nodes."""
+
+from conftest import write_table
+
+from repro.gpu import EPYC_7763_NODE
+from repro.gpu.device import LONESTAR6_MPI_CPU
+from repro.parallel import ScalingStudy, efficiencies
+
+PAPER_GPU = {4: 0.97, 8: 0.89, 16: 0.64}
+PAPER_CPU = {4: 0.93, 8: 0.79, 16: 0.66}
+
+
+def test_fig17_strong_scaling(benchmark, bbh_mesh_medium, scaling_study):
+    ranks = [2, 4, 8, 16]
+    gpu_pts = scaling_study.strong_scaling(257e6, ranks)
+    gpu_eff = efficiencies(gpu_pts, "strong")
+    cpu_study = ScalingStudy(
+        bbh_mesh_medium, machine=EPYC_7763_NODE,
+        interconnect=LONESTAR6_MPI_CPU, overlap=0.0,
+    )
+    cpu_pts = cpu_study.strong_scaling(257e6, ranks)
+    cpu_eff = efficiencies(cpu_pts, "strong")
+
+    lines = [
+        "Fig. 17: strong scaling, 257M unknowns, 5 RK4 steps",
+        f"{'ranks':>6}{'GPU s':>9}{'GPU eff':>9}{'paper':>7}"
+        f"{'CPU s':>10}{'CPU eff':>9}{'paper':>7}",
+    ]
+    for p, e, cp, ce in zip(gpu_pts, gpu_eff, cpu_pts, cpu_eff):
+        pg = f"{PAPER_GPU.get(p.ranks, 1.0):.0%}"
+        pc = f"{PAPER_CPU.get(p.ranks, 1.0):.0%}"
+        lines.append(
+            f"{p.ranks:>6}{p.total:>9.2f}{e:>9.1%}{pg:>7}"
+            f"{cp.total:>10.2f}{ce:>9.1%}{pc:>7}"
+        )
+    print("\n" + write_table("fig17_strong_scaling", lines))
+
+    # shape: efficiency monotone decreasing, in the paper's bands
+    assert all(a >= b for a, b in zip(gpu_eff, gpu_eff[1:]))
+    assert 0.80 < gpu_eff[1] <= 1.0  # 4 ranks
+    assert 0.50 < gpu_eff[3] < 0.80  # 16 ranks
+    assert all(a >= b for a, b in zip(cpu_eff, cpu_eff[1:]))
+    assert 0.5 < cpu_eff[3] < 0.85  # 16 nodes (paper 66%)
+    # total time decreases with ranks (the figure's downward curves)
+    assert gpu_pts[-1].total < gpu_pts[0].total
+
+    benchmark(lambda: scaling_study.point(257e6, 8))

@@ -1,0 +1,31 @@
+"""E10 — Fig. 18: GPU weak scaling, ~35M unknowns per GPU, up to 16 GPUs
+(largest problem 560M unknowns); paper reports ~83% average efficiency."""
+
+import numpy as np
+from conftest import write_table
+
+from repro.parallel import efficiencies
+
+
+def test_fig18_weak_scaling(benchmark, scaling_study):
+    ranks = [1, 2, 4, 8, 16]
+    pts = scaling_study.weak_scaling(35e6, ranks)
+    eff = efficiencies(pts, "weak")
+    lines = [
+        "Fig. 18: weak scaling, 35M unknowns/GPU, 5 RK4 steps",
+        f"{'GPUs':>6}{'unknowns':>11}{'time s':>9}{'efficiency':>12}",
+    ]
+    for p, e in zip(pts, eff):
+        lines.append(f"{p.ranks:>6}{p.unknowns/1e6:>10.0f}M{p.total:>9.2f}{e:>12.1%}")
+    lines.append(
+        f"largest problem: {pts[-1].unknowns/1e6:.0f}M unknowns (paper 560M); "
+        f"average efficiency {np.mean(eff[1:]):.1%} (paper 83%)"
+    )
+    print("\n" + write_table("fig18_weak_scaling_gpu", lines))
+
+    assert pts[-1].unknowns == 560e6
+    assert 0.60 < np.mean(eff[1:]) <= 1.0
+    # weak-scaling time grows slowly (the figure's near-flat curve)
+    assert pts[-1].total < 2.0 * pts[0].total
+
+    benchmark(lambda: scaling_study.point(35e6 * 8, 8))

@@ -1,0 +1,49 @@
+"""E11 — Fig. 20: Frontera weak scaling to 4096 nodes (229,376 cores),
+500K unknowns/core, largest problem 118B unknowns; per-phase cost
+breakdown of one RK4 step."""
+
+from conftest import write_table
+
+from repro.gpu.device import FRONTERA_IB, FRONTERA_NODE
+from repro.parallel import ScalingStudy, efficiencies
+
+CORES_PER_NODE = 56
+NODES = [64, 256, 1024, 4096]
+
+
+def test_fig20_frontera_weak_scaling(benchmark, bbh_mesh_medium):
+    study = ScalingStudy(
+        bbh_mesh_medium, machine=FRONTERA_NODE, interconnect=FRONTERA_IB
+    )
+    lines = [
+        "Fig. 20: Frontera weak scaling, 500K unknowns/core, one RK4 step",
+        f"{'nodes':>6}{'cores':>9}{'unknowns':>11}{'s/step':>9}  phase breakdown",
+    ]
+    totals = []
+    for nodes in NODES:
+        cores = nodes * CORES_PER_NODE
+        unknowns = 500e3 * cores
+        phases = study.breakdown(unknowns, nodes)
+        total = sum(phases.values())
+        totals.append(total)
+        detail = " ".join(
+            f"{k}:{v / total:4.0%}" for k, v in sorted(phases.items())
+        )
+        lines.append(
+            f"{nodes:>6}{cores:>9}{unknowns/1e9:>10.1f}B{total:>9.2f}  {detail}"
+        )
+    lines.append(
+        f"largest problem: {500e3 * NODES[-1] * CORES_PER_NODE / 1e9:.0f}B "
+        "unknowns on 229,376 cores (paper: 118B)"
+    )
+    print("\n" + write_table("fig20_frontera_weak", lines))
+
+    # weak scaling: per-step cost nearly flat across 64 -> 4096 nodes
+    assert max(totals) / min(totals) < 1.6
+    # RHS dominates the breakdown, as in the paper's stacked bars
+    phases = study.breakdown(500e3 * CORES_PER_NODE * 1024, 1024)
+    assert phases["rhs"] == max(phases.values())
+    # problem size matches the paper's target
+    assert abs(500e3 * NODES[-1] * CORES_PER_NODE - 114.7e9) / 114.7e9 < 0.1
+
+    benchmark(lambda: study.breakdown(500e3 * CORES_PER_NODE * 256, 256))

@@ -1,0 +1,29 @@
+"""E1 — Table I: resolution requirements vs mass ratio."""
+
+from conftest import write_table
+
+from repro.analysis import PAPER_TABLE1, table1
+
+
+def test_table1_resolution(benchmark):
+    rows = benchmark(table1)
+    lines = [
+        "Table I: resolution requirements (paper value | ours)",
+        f"{'q':>4} {'dx_min paper':>13} {'dx_min ours':>13} "
+        f"{'T paper':>9} {'T ours':>9} {'steps paper':>12} {'steps ours':>12}",
+    ]
+    for r in rows:
+        p = PAPER_TABLE1[int(r.q)]
+        lines.append(
+            f"{int(r.q):>4} {p['dx_bh1']:>13.2e} {r.dx_small:>13.2e} "
+            f"{p['merger_time']:>9.0f} {r.merger_time:>9.0f} "
+            f"{p['timesteps']:>12.1e} {r.timesteps:>12.1e}"
+        )
+    text = write_table("table1_resolution", lines)
+    print("\n" + text)
+
+    # shape assertions: resolutions exact, times within PN-estimate slack
+    for r in rows:
+        p = PAPER_TABLE1[int(r.q)]
+        assert abs(r.dx_small - p["dx_bh1"]) / p["dx_bh1"] < 0.02
+        assert abs(r.timesteps - p["timesteps"]) / p["timesteps"] < 0.25

@@ -1,0 +1,54 @@
+"""E5 — Table III: octant-to-patch / patch-to-octant arithmetic intensity
+and execution times on the m1..m5 grids of decreasing adaptivity."""
+
+from conftest import write_table
+
+from repro.gpu import (
+    kernel_time,
+    octant_to_patch_stats,
+    patch_to_octant_stats,
+    qu_octant_to_patch,
+)
+
+PAPER = {  # octants, AI, o2p ms, p2o ms
+    1: (400, 4.07, 1.31, 0.064),
+    2: (1352, 2.52, 3.38, 0.2),
+    3: (2360, 2.20, 5.60, 0.3),
+    4: (5384, 1.90, 11.92, 0.8),
+    5: (9304, 1.74, 19.94, 1.56),
+}
+
+
+def test_table3_unzip_ai(benchmark, adaptivity_meshes):
+    lines = [
+        "Table III: o2p/p2o operational intensity and modeled A100 times",
+        f"(AI bound Q_u <= {qu_octant_to_patch():.2f}, Eq. 20)",
+        f"{'grid':>5} {'octants':>8} {'AI paper':>9} {'AI ours':>8} "
+        f"{'o2p ms (paper|ours)':>21} {'p2o ms (paper|ours)':>21}",
+    ]
+    ais, o2p_ms, p2o_ms = [], [], []
+    for i in range(1, 6):
+        mesh = adaptivity_meshes[i]
+        s = octant_to_patch_stats(mesh.plan)
+        p = patch_to_octant_stats(mesh.plan)
+        t_o2p = kernel_time(s) * 1e3
+        t_p2o = kernel_time(p) * 1e3
+        ais.append(s.ai)
+        o2p_ms.append(t_o2p)
+        p2o_ms.append(t_p2o)
+        pp = PAPER[i]
+        lines.append(
+            f"m{i:<4} {mesh.num_octants:>8} {pp[1]:>9.2f} {s.ai:>8.2f} "
+            f"{f'{pp[2]:.2f}|{t_o2p:.2f}':>21} {f'{pp[3]:.3f}|{t_p2o:.3f}':>21}"
+        )
+    print("\n" + write_table("table3_unzip_ai", lines))
+
+    # shape: AI decreases with uniformity, stays under the Eq. 20 bound,
+    # times grow with octant count, p2o ≪ o2p
+    assert all(a >= b for a, b in zip(ais, ais[1:]))
+    assert all(a <= qu_octant_to_patch() for a in ais)
+    assert all(a < b for a, b in zip(o2p_ms, o2p_ms[1:]))
+    assert all(t2 < t1 for t1, t2 in zip(o2p_ms, p2o_ms))
+
+    mesh = adaptivity_meshes[3]
+    benchmark(lambda: octant_to_patch_stats(mesh.plan))

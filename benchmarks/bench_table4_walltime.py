@@ -1,0 +1,30 @@
+"""E14 — Table IV: production wall-clock estimates for q = 1, 2, 4, 8."""
+
+from conftest import write_table
+
+from repro.analysis import table4
+
+
+def test_table4_walltime(benchmark):
+    rows = benchmark.pedantic(table4, rounds=1, iterations=1)
+    lines = [
+        "Table IV: BBH production runs (paper | our cost model)",
+        f"{'q':>3}{'GPUs':>6}{'steps paper':>13}{'steps ours':>12}"
+        f"{'hours paper':>13}{'hours ours':>12}",
+    ]
+    for paper, est in rows:
+        lines.append(
+            f"{paper['q']:>3}{paper['gpus']:>6}{paper['steps']:>13.2e}"
+            f"{est.timesteps:>12.2e}{paper['hours']:>13.0f}"
+            f"{est.wall_hours:>12.1f}"
+        )
+    lines.append(
+        "shape claims: days-scale runs, monotone in q, q=8 dominated by "
+        "its 4M timesteps"
+    )
+    print("\n" + write_table("table4_walltime", lines))
+
+    hours = [est.wall_hours for _, est in rows]
+    assert all(a <= b * 1.05 for a, b in zip(hours, hours[1:]))
+    for paper, est in rows:
+        assert paper["hours"] / 4.0 < est.wall_hours < paper["hours"] * 4.0

@@ -1,0 +1,76 @@
+"""Shared fixtures and table-writing helpers for the benchmark harness.
+
+Every table and figure of the paper's evaluation has one bench module.
+Each module regenerates its artefact (printing the same rows/series the
+paper reports) into ``benchmarks/output/<name>.txt``, and registers a
+pytest-benchmark timing for its core kernel.  Absolute numbers on the
+virtual-GPU substrate are model predictions (see DESIGN.md); the paper's
+values are printed alongside for shape comparison.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def write_table(name: str, lines: list[str]) -> str:
+    """Persist an experiment's table; returns the rendered text."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (OUTPUT_DIR / f"{name}.txt").write_text(text)
+    return text
+
+
+@pytest.fixture(scope="session")
+def bbh_mesh_small():
+    from repro.mesh import Mesh
+    from repro.octree import bbh_grid
+
+    return Mesh(bbh_grid(mass_ratio=2.0, max_level=6, base_level=2))
+
+
+@pytest.fixture(scope="session")
+def bbh_mesh_medium():
+    from repro.mesh import Mesh
+    from repro.octree import bbh_grid
+
+    return Mesh(bbh_grid(mass_ratio=2.0, max_level=7, base_level=3))
+
+
+@pytest.fixture(scope="session")
+def adaptivity_meshes():
+    from repro.mesh import Mesh
+    from repro.octree import adaptivity_family
+
+    return {i: Mesh(adaptivity_family(i)) for i in range(1, 6)}
+
+
+@pytest.fixture(scope="session")
+def scaling_study(bbh_mesh_medium):
+    from repro.parallel import ScalingStudy
+
+    return ScalingStudy(bbh_mesh_medium)
+
+
+@pytest.fixture(scope="session")
+def kernel_specs():
+    """The three generated kernels (cached for the whole session)."""
+    from repro.codegen import VARIANTS, get_kernel_spec
+
+    return {v: get_kernel_spec(v) for v in VARIANTS}
+
+
+@pytest.fixture(scope="session")
+def spill_stats(kernel_specs):
+    from repro.codegen import analyze_schedule
+
+    out = {}
+    for v, spec in kernel_specs.items():
+        out[v] = analyze_schedule(
+            spec.statements, spec.input_names, input_defs=spec.input_defs
+        )
+    return out

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Build a model waveform catalog and inspect its parameter coverage.
+
+The paper's motivation: NR groups maintain catalogs (SXS, RIT, GaTech)
+whose coverage of the mass-ratio axis determines which detections can be
+interpreted.  This demo builds a model catalog over q, computes the
+template-bank mismatch matrix, and reports where coverage is too sparse.
+
+Run:  python examples/catalog_building.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.analysis import WaveformCatalog, build_model_catalog
+from repro.gw import radiated_energy, snr_estimate, aplus_asd, physical_strain
+
+
+def main() -> None:
+    qs = (1.0, 1.5, 2.0, 4.0, 8.0)
+    cat = build_model_catalog(qs, samples=2048)
+    print(f"catalog: {len(cat)} waveforms, q = {list(cat.mass_ratios)}")
+
+    mm = cat.mismatch_matrix()
+    print("\npairwise mismatch matrix (time/phase maximised):")
+    header = "      " + "".join(f"q={q:<7g}" for q in qs)
+    print(header)
+    for i, q in enumerate(qs):
+        row = "".join(f"{mm[i, j]:<9.4f}" for j in range(len(qs)))
+        print(f"q={q:<4g}{row}")
+
+    for thr in (0.3, 0.1, 0.03):
+        gaps = cat.coverage_gaps(threshold=thr)
+        print(f"coverage gaps at mismatch threshold {thr}: "
+              f"{gaps if gaps else 'none'}")
+
+    # physical context for the q=1 entry
+    e = cat.entry(1.0)
+    dt = e.times[1] - e.times[0]
+    erad = radiated_energy(
+        e.times, {(2, 2): np.gradient(np.gradient(e.h22, e.times), e.times)},
+        radius=1.0,
+    )
+    ts, strain = physical_strain(e.h22, e.times, total_mass_msun=65.0,
+                                 distance_mpc=410.0)
+    snr = snr_estimate(strain, ts[1] - ts[0], aplus_asd)
+    print(f"\nq=1 entry: A+ SNR at 410 Mpc ~ {snr:.1f}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = cat.save(tmp)
+        loaded = WaveformCatalog.load(tmp)
+        same = all(
+            np.allclose(loaded.entry(q).h22, cat.entry(q).h22) for q in qs
+        )
+        print(f"persisted {len(paths)} files; reload identical: {same}")
+    print("\nthe paper's point: filling these gaps at high q requires NR "
+          "runs whose cost explodes (Table I) — hence GPUs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Simulated detector strain for a GW150914-like binary (paper Fig. 2).
+
+Generates a model q≈1.2 waveform, scales it to a 65 M_sun source at
+410 Mpc, adds coloured noise for the LIGO A+ and Cosmic Explorer
+sensitivity curves, and reports matched-filter SNRs — showing CE's far
+cleaner view of the same signal.
+
+Run:  python examples/detector_strain.py
+"""
+
+import numpy as np
+
+from repro.gw import (
+    IMRWaveform,
+    aplus_asd,
+    bandpass,
+    ce_asd,
+    colored_noise,
+    physical_strain,
+    snr_estimate,
+)
+
+
+def main() -> None:
+    # GW150914-like source in geometric units
+    wf = IMRWaveform(mass_ratio=1.2, t_merge=380.0, amplitude=0.4)
+    t_geom = np.linspace(0.0, 450.0, 6000)
+    h_geom = wf.h(t_geom)
+    ts, strain = physical_strain(h_geom, t_geom, total_mass_msun=65.0,
+                                 distance_mpc=410.0)
+    dt = ts[1] - ts[0]
+    n = len(ts)
+    print(f"signal: {ts[-1]*1e3:.0f} ms, peak strain {np.abs(strain).max():.2e}")
+
+    rng = np.random.default_rng(7)
+    for name, asd in (("LIGO A+", aplus_asd), ("Cosmic Explorer", ce_asd)):
+        noise = colored_noise(n, dt, asd, rng)
+        data = strain + noise
+        filt = bandpass(data, dt, 30.0, 500.0)
+        sig = bandpass(strain, dt, 30.0, 500.0)
+        snr = snr_estimate(strain, dt, asd)
+        vis = np.abs(sig).max() / (np.std(filt - sig) + 1e-30)
+        print(f"\n{name}: matched-filter SNR = {snr:6.1f}, "
+              f"band-passed peak/noise = {vis:5.2f}")
+        # coarse ASCII strain trace (whitened band)
+        step = n // 60
+        trace = filt[::step]
+        scale = np.abs(trace).max() + 1e-30
+        for i, v in enumerate(trace[20:56]):
+            pos = int(24 + 20 * v / scale)
+            print("  " + " " * pos + "*")
+
+    print("\nCosmic Explorer resolves the chirp far above its noise floor "
+          "(the reason NR waveform accuracy must improve, paper §I).")
+
+
+if __name__ == "__main__":
+    main()

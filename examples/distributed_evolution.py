@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Rank-parallel evolution over an SFC-partitioned octree.
+
+Demonstrates Algorithm 1's multi-GPU pattern functionally: the octree is
+cut along the space-filling curve, each rank holds only its own octant
+blocks, ghost layers travel through a message-passing communicator before
+every unzip, and the distributed result is verified against the
+single-address-space solver bit for bit.
+
+Run:  python examples/distributed_evolution.py
+"""
+
+import numpy as np
+
+from repro.bssn import Puncture, mesh_puncture_state
+from repro.mesh import Mesh
+from repro.octree import (
+    Domain,
+    LinearOctree,
+    partition_octree,
+    partition_octree_hilbert,
+)
+from repro.parallel import DistributedBSSNSolver, build_halo_plan
+from repro.solver import BSSNSolver
+
+
+def main() -> None:
+    mesh = Mesh(LinearOctree.uniform(2, domain=Domain(-12.0, 12.0)))
+    u0 = mesh_puncture_state(mesh, [Puncture(1.0, [0.0, 0.0, 0.0])])
+    ranks = 4
+
+    part = partition_octree(mesh.tree, ranks)
+    plan = build_halo_plan(mesh, part)
+    print(f"{mesh.num_octants} octants over {ranks} ranks "
+          f"(sizes {part.part_sizes().tolist()})")
+    per_rank = [len(g) for g in plan.ghost_lists]
+    print(f"ghost octants per rank: {per_rank}; "
+          f"one halo exchange = {plan.bytes_per_exchange(dof=24).sum()/1e6:.1f} MB")
+
+    ph = partition_octree_hilbert(mesh.tree, ranks)
+    surf_m = part.boundary_surface(mesh.adjacency).sum()
+    surf_h = ph.boundary_surface(mesh.adjacency).sum()
+    print(f"partition surface: Morton {surf_m} pairs, Hilbert {surf_h} pairs")
+
+    # evolve both ways and compare
+    ref = BSSNSolver(mesh)
+    ref.set_state(u0.copy())
+    dist = DistributedBSSNSolver(mesh, part)
+    dist.set_state(u0.copy())
+    steps = 2
+    for _ in range(steps):
+        ref.step()
+        dist.step()
+    dev = np.abs(dist.gather_state() - ref.state).max()
+    print(f"\nafter {steps} RK4 steps (8 halo exchanges, "
+          f"{dist.bytes_communicated()/1e6:.1f} MB moved):")
+    print(f"max |distributed - single-rank| = {dev:.2e}")
+    print("the distribution is invisible to the physics — the property "
+          "behind the paper's multi-GPU runs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Gravitational-wave propagation through the adaptive mesh.
+
+A compact quadrupole source carrying a model q=1 inspiral-merger-ringdown
+signal radiates through the octree AMR grid; the (2,2) mode is extracted
+on a sphere and compared against the injected waveform — the toy-scale
+analogue of the paper's Figs. 19/21 waveform studies.
+
+Run:  python examples/gw_propagation.py
+"""
+
+import numpy as np
+
+from repro.gw import IMRWaveform, WaveExtractor, gauss_legendre_rule
+from repro.gw.swsh import ylm
+from repro.mesh import Mesh
+from repro.octree import Domain, LinearOctree
+from repro.solver import WaveSolver
+
+
+def make_source(signal):
+    """S(x, t) = A(t) * exp(-r²/w²) * Re Y_22(θ, φ)."""
+
+    def source(coords, t):
+        x, y, z = coords[..., 0], coords[..., 1], coords[..., 2]
+        r = np.sqrt(x * x + y * y + z * z)
+        safe = np.maximum(r, 1e-12)
+        th = np.arccos(np.clip(z / safe, -1.0, 1.0))
+        ph = np.arctan2(y, x)
+        return signal(t) * np.exp(-((r / 1.5) ** 2)) * np.real(ylm(2, 2, th, ph))
+
+    return source
+
+
+def main() -> None:
+    # model (2,2) chirp as the time dependence of the source
+    wf = IMRWaveform(mass_ratio=1.0, t_merge=6.0, amplitude=1.0)
+    signal = lambda t: np.real(wf.h(np.array([t])))[0]
+
+    mesh = Mesh(LinearOctree.uniform(3, domain=Domain(-16.0, 16.0)))
+    solver = WaveSolver(mesh, source=make_source(signal), ko_sigma=0.02)
+
+    R = 8.0
+    extractor = WaveExtractor([R], l_max=2, s=0, rule=gauss_legendre_rule(10))
+    print(f"propagating a q=1 model chirp through {mesh.num_octants} octants, "
+          f"extracting at R = {R}")
+
+    solver.evolve(
+        14.0,
+        on_step=lambda s: extractor.sample(s.mesh, s.state[0], s.t),
+        regrid_every=8,
+        regrid_eps=3e-5,
+        max_level=4,
+    )
+
+    t, c22 = extractor.series(R, 2, 2)
+    peak_i = int(np.argmax(np.abs(c22)))
+    print(f"final grid: {solver.mesh.num_octants} octants (AMR tracked the pulse)")
+    print(f"(2,2) mode peak |C22| = {np.abs(c22[peak_i]):.3e} at t = {t[peak_i]:.2f} "
+          f"(source merger at t = 6.0, light travel time ~ {R:.0f})")
+    print("\n   t      Re C22        |C22|")
+    for i in range(0, len(t), max(1, len(t) // 15)):
+        bar = "#" * int(40 * abs(c22[i]) / (abs(c22[peak_i]) + 1e-30))
+        print(f"{t[i]:6.2f}  {c22[i].real:+.3e}  {bar}")
+
+
+if __name__ == "__main__":
+    main()

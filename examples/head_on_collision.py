@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Head-on black-hole collision at toy scale.
+
+Two equal-mass Brill–Lindquist punctures start at rest on the x axis;
+we evolve a handful of RK4 steps with moving-puncture gauge, track the
+punctures through the shift, watch the lapse collapse at both holes, and
+dump a slice-level view of the grid (Fig. 3-style).
+
+Run:  python examples/head_on_collision.py
+"""
+
+import numpy as np
+
+from repro.bssn import BSSNParams, Puncture
+from repro.bssn import state as S
+from repro.mesh import Mesh, ascii_level_map, level_profile
+from repro.octree import Domain, LinearOctree, balance, puncture_refine_fn
+from repro.solver import BSSNSolver, PunctureTracker
+
+
+def main() -> None:
+    d = 3.0  # initial separation
+    punctures = [
+        Puncture(0.5, [-d / 2, 0.0, 0.0]),
+        Puncture(0.5, [+d / 2, 0.0, 0.0]),
+    ]
+    refine = puncture_refine_fn([(p.position, p.mass) for p in punctures],
+                                theta=0.7)
+    tree = balance(LinearOctree.from_refinement(
+        refine, domain=Domain(-16.0, 16.0), base_level=2, max_level=5
+    ))
+    mesh = Mesh(tree)
+    print(f"grid: {mesh.num_octants} octants, levels "
+          f"{tree.min_level}..{tree.max_level}")
+    print("z = 0 level map (digits = refinement level):")
+    print(ascii_level_map(tree, resolution=32))
+
+    solver = BSSNSolver(mesh, BSSNParams(eta=2.0, ko_sigma=0.3))
+    solver.set_punctures(punctures)
+    tracker = PunctureTracker([p.position for p in punctures],
+                              masses=[p.mass for p in punctures])
+
+    print(f"\nseparation at t=0: {tracker.separation():.3f}")
+    for _ in range(4):
+        solver.step()
+        tracker.update(solver.mesh, solver.state, solver.t - solver.dt,
+                       solver.dt)
+        a = solver.state[S.ALPHA]
+        print(f"t={solver.t:6.3f}  min(alpha)={a.min():.4f}  "
+              f"separation={tracker.separation():.4f}")
+
+    xs, levels = level_profile(tree, axis=0, num=40)
+    print("\nlevel profile along x (both punctures visible):")
+    for x, l in zip(xs[::2], levels[::2]):
+        print(f"  x={x:+7.2f}  " + "#" * int(l))
+
+    c = solver.constraints()
+    print(f"\nconstraints after {solver.step_count} steps: "
+          f"ham_l2={c['ham_l2']:.3e}  mom_l2={c['mom_l2']:.3e}")
+    print("both lapse minima sit at the punctures; with longer evolutions "
+          "the holes fall together and merge (paper-scale runs take days "
+          "on 4 A100s — Table IV).")
+
+
+if __name__ == "__main__":
+    main()

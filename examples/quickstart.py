@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: evolve a Schwarzschild puncture on an adaptive octree.
+
+Builds a puncture-refined 2:1-balanced octree, sets Brill–Lindquist
+initial data, runs a few RK4 steps of the full BSSN system (Algorithm 1
+of the paper), and prints constraint norms and gauge dynamics.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.bssn import BSSNParams, Puncture
+from repro.bssn import state as S
+from repro.mesh import Mesh
+from repro.octree import Domain, LinearOctree, balance, puncture_refine_fn
+from repro.solver import BSSNSolver
+
+
+def main() -> None:
+    # 1. an adaptive grid refined around the puncture
+    refine = puncture_refine_fn([(np.zeros(3), 1.0)], theta=1.0)
+    tree = balance(
+        LinearOctree.from_refinement(
+            refine, domain=Domain(-16.0, 16.0), base_level=2, max_level=5
+        )
+    )
+    mesh = Mesh(tree)
+    print(f"mesh: {mesh.num_octants} octants, {mesh.num_points:,} points/var, "
+          f"levels {tree.min_level}..{tree.max_level}, finest dx = {mesh.min_dx:.3f}")
+
+    # 2. initial data + solver (1+log lapse, Gamma-driver shift)
+    solver = BSSNSolver(mesh, BSSNParams(eta=2.0, ko_sigma=0.3))
+    solver.set_punctures([Puncture(mass=1.0, position=[0.0, 0.0, 0.0])])
+
+    print(f"dt = {solver.dt:.4f} (Courant 0.25)")
+    c = solver.constraints()
+    print(f"t={solver.t:6.3f}  ham_l2={c['ham_l2']:.3e}  mom_l2={c['mom_l2']:.3e}")
+
+    # 3. evolve a few steps
+    for _ in range(4):
+        solver.step()
+        alpha = solver.state[S.ALPHA]
+        print(f"t={solver.t:6.3f}  min(alpha)={alpha.min():.4f}  "
+              f"max|K|={np.abs(solver.state[S.K]).max():.3e}")
+
+    c = solver.constraints()
+    print(f"final constraints: ham_l2={c['ham_l2']:.3e}  "
+          f"mom_l2={c['mom_l2']:.3e}  gam_l2={c['gam_l2']:.3e}")
+    print("the lapse collapses toward the puncture (moving-puncture gauge) "
+          "while constraints remain at truncation level.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Why large mass ratios are hard (paper Table I + Table IV).
+
+Prints the resolution/timestep requirements for binaries of increasing
+mass ratio and the production wall-clock estimates from the cost model —
+the motivation for the paper's GPU effort.
+
+Run:  python examples/resolution_requirements.py
+"""
+
+from repro.analysis import PAPER_TABLE1, table1, table4
+from repro.gw import peters_merger_time, qnm_frequency, remnant_spin
+
+
+def main() -> None:
+    print("Table I: resolving both horizons with ~120 points across each")
+    print(f"{'q':>5} {'dx (small BH)':>14} {'dx (big BH)':>12} "
+          f"{'T merger':>10} {'timesteps':>11}")
+    for row in table1():
+        print(f"{int(row.q):>5} {row.dx_small:>14.2e} {row.dx_large:>12.2e} "
+              f"{row.merger_time:>10.0f} {row.timesteps:>11.1e}")
+    r512 = [r for r in table1() if r.q == 512][0]
+    r1 = [r for r in table1() if r.q == 1][0]
+    print(f"\nq=512 needs {r512.timesteps / r1.timesteps:,.0f}x the timesteps "
+          "of q=1 — hence the need for faster (GPU) per-step times.\n")
+
+    print("Remnant properties from the fits used in the waveform model:")
+    for q in (1.0, 2.0, 4.0, 8.0):
+        w = qnm_frequency(q)
+        print(f"  q={q:.0f}: a_f = {remnant_spin(q):.3f}, "
+              f"M*w_qnm = {w.real:.3f} - {-w.imag:.3f}i, "
+              f"Peters T(d=8) = {peters_merger_time(q, 8.0):,.0f} M")
+
+    print("\nTable IV: production wall-clock (paper | cost model)")
+    print(f"{'q':>3} {'GPUs':>5} {'paper hours':>12} {'model hours':>12}")
+    for paper, est in table4():
+        print(f"{paper['q']:>3} {paper['gpus']:>5} {paper['hours']:>12.0f} "
+              f"{est.wall_hours:>12.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Multi-GPU and Frontera-scale scaling predictions (Figs. 17, 18, 20).
+
+Builds a real BBH octree, partitions it along the space-filling curve,
+measures ghost-layer volumes, and pushes compute + communication through
+the paper's slow-fast performance model.
+
+Run:  python examples/scaling_study.py
+"""
+
+import numpy as np
+
+from repro.gpu.device import FRONTERA_IB, FRONTERA_NODE
+from repro.mesh import Mesh
+from repro.octree import bbh_grid
+from repro.parallel import ScalingStudy, efficiencies
+
+
+def main() -> None:
+    mesh = Mesh(bbh_grid(mass_ratio=2.0, max_level=7, base_level=3))
+    print(f"representative mesh: {mesh.num_octants} octants\n")
+
+    study = ScalingStudy(mesh)
+
+    print("strong scaling, 257M unknowns, 5 RK4 steps (paper Fig. 17)")
+    pts = study.strong_scaling(257e6, [2, 4, 8, 16])
+    eff = efficiencies(pts, "strong")
+    for p, e in zip(pts, eff):
+        print(f"  {p.ranks:>3} GPUs: {p.total:7.2f} s  "
+              f"(compute {p.compute:6.2f}, comm {p.comm:5.2f})  eff {e:5.1%}")
+    print("  paper: 97% / 89% / 64% at 4 / 8 / 16 GPUs\n")
+
+    print("weak scaling, 35M unknowns per GPU (paper Fig. 18)")
+    pts = study.weak_scaling(35e6, [1, 2, 4, 8, 16])
+    eff = efficiencies(pts, "weak")
+    for p, e in zip(pts, eff):
+        print(f"  {p.ranks:>3} GPUs: {p.total:7.2f} s  eff {e:5.1%}  "
+              f"({p.unknowns/1e6:.0f}M unknowns)")
+    print(f"  average efficiency: {np.mean(eff[1:]):.1%} (paper: 83%)\n")
+
+    print("Frontera weak scaling, 500K unknowns/core, one RK4 step "
+          "(paper Fig. 20; largest = 118B unknowns on 4096 nodes)")
+    frontera = ScalingStudy(
+        mesh, machine=FRONTERA_NODE, interconnect=FRONTERA_IB
+    )
+    for nodes in (64, 256, 1024, 4096):
+        cores = nodes * 56
+        unknowns = 500e3 * cores
+        phases = frontera.breakdown(unknowns, nodes)
+        total = sum(phases.values())
+        detail = ", ".join(f"{k} {v/total:4.0%}" for k, v in phases.items())
+        print(f"  {nodes:>5} nodes ({cores:>7} cores, {unknowns/1e9:6.1f}B "
+              f"unknowns): {total:6.2f} s/step  [{detail}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro: reproduction of "A GPU-Accelerated AMR Solver for Gravitational
+Wave Propagation" (SC 2022).
+
+An octree-AMR BSSN numerical-relativity solver in pure Python/NumPy with
+a virtual-GPU execution and performance substrate.  Subpackages:
+
+* :mod:`repro.octree`   -- linear octrees, 2:1 balance, SFC partitioning
+* :mod:`repro.mesh`     -- octant blocks/patches, unzip/zip, regridding
+* :mod:`repro.fd`       -- 6th-order stencils and KO dissipation
+* :mod:`repro.bssn`     -- the BSSN equations, initial data, Psi4
+* :mod:`repro.codegen`  -- SymPy RHS code generation (3 variants)
+* :mod:`repro.gpu`      -- machine models, the paper's performance model
+* :mod:`repro.parallel` -- simulated communicator, halos, scaling models
+* :mod:`repro.solver`   -- RK4 evolution drivers (Algorithm 1)
+* :mod:`repro.gw`       -- wave extraction, model waveforms, detectors
+* :mod:`repro.analysis` -- Tables I and IV estimators
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "bssn",
+    "codegen",
+    "fd",
+    "gpu",
+    "gw",
+    "io",
+    "mesh",
+    "octree",
+    "parallel",
+    "solver",
+]

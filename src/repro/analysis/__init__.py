@@ -1,0 +1,39 @@
+"""Resolution and cost estimators (Tables I and IV) and catalog tools."""
+
+from .catalog import CatalogEntry, WaveformCatalog, build_model_catalog
+
+from .convergence import (
+    ConvergenceResult,
+    analyze_triplet,
+    observed_order,
+    richardson_extrapolate,
+    scaled_difference_overlap,
+)
+from .cost_model import (
+    PAPER_TABLE4,
+    ProductionEstimate,
+    estimate_octants,
+    estimate_production_run,
+    table4,
+)
+from .resolution import PAPER_TABLE1, Table1Row, table1, table1_row
+
+__all__ = [
+    "CatalogEntry",
+    "PAPER_TABLE1",
+    "WaveformCatalog",
+    "build_model_catalog",
+    "ConvergenceResult",
+    "analyze_triplet",
+    "observed_order",
+    "richardson_extrapolate",
+    "scaled_difference_overlap",
+    "PAPER_TABLE4",
+    "ProductionEstimate",
+    "Table1Row",
+    "estimate_octants",
+    "estimate_production_run",
+    "table1",
+    "table1_row",
+    "table4",
+]

@@ -1,0 +1,49 @@
+"""Table I: resolution requirements vs mass ratio."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gw.waveform import resolution_requirements
+
+#: the paper's Table I, for side-by-side comparison
+PAPER_TABLE1 = {
+    1: dict(dx_bh1=8.33e-3, dx_bh2=8.33e-3, merger_time=650.0, timesteps=7.8e4),
+    4: dict(dx_bh1=3.33e-3, dx_bh2=1.33e-2, merger_time=700.0, timesteps=2.1e5),
+    16: dict(dx_bh1=9.80e-4, dx_bh2=1.57e-2, merger_time=1400.0, timesteps=1.4e6),
+    64: dict(dx_bh1=2.56e-4, dx_bh2=1.64e-2, merger_time=6000.0, timesteps=2.3e7),
+    256: dict(dx_bh1=6.46e-5, dx_bh2=1.65e-2, merger_time=24000.0, timesteps=3.7e8),
+    512: dict(dx_bh1=3.23e-5, dx_bh2=1.65e-2, merger_time=48000.0, timesteps=1.5e9),
+}
+
+
+@dataclass
+class Table1Row:
+    """One row of Table I."""
+    q: float
+    dx_small: float  # finer puncture (the paper's first Δx column)
+    dx_large: float
+    merger_time: float
+    timesteps: float
+
+
+def table1_row(q: float) -> Table1Row:
+    """One row of Table I from the estimator.
+
+    The paper's columns list the finer (smaller-BH) resolution first;
+    we report (min, max) of the two puncture resolutions accordingly.
+    """
+    r = resolution_requirements(q)
+    dxs = sorted([r["dx_bh1"], r["dx_bh2"]])
+    return Table1Row(
+        q=q,
+        dx_small=dxs[0],
+        dx_large=dxs[1],
+        merger_time=r["merger_time"],
+        timesteps=r["timesteps"],
+    )
+
+
+def table1(qs=(1, 4, 16, 64, 256, 512)) -> list[Table1Row]:
+    """All Table I rows for the requested mass ratios."""
+    return [table1_row(float(q)) for q in qs]

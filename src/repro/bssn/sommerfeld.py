@@ -1,0 +1,65 @@
+"""Sommerfeld (radiative) boundary conditions.
+
+At the faces of the cubic domain the RHS of every variable is replaced by
+the outgoing-wave condition
+
+    ∂_t u = − (x^i / r) ∂_i u − (u − u_∞) / r,
+
+using the already-computed centred first derivatives (whose out-of-domain
+padding inputs come from the smooth extrapolation fill).  Asymptotic
+values u_∞ are 1 for α, χ, and the diagonal conformal metric, 0 for
+everything else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import state as S
+
+#: asymptotic value per variable
+ASYMPTOTIC = np.zeros(S.NUM_VARS)
+ASYMPTOTIC[S.ALPHA] = 1.0
+ASYMPTOTIC[S.CHI] = 1.0
+ASYMPTOTIC[S.GT11] = 1.0
+ASYMPTOTIC[S.GT22] = 1.0
+ASYMPTOTIC[S.GT33] = 1.0
+
+
+def apply_sommerfeld(
+    rhs: np.ndarray,
+    values: np.ndarray,
+    derivs,
+    coords: np.ndarray,
+    boundary_faces,
+    *,
+    wave_speed: float = 1.0,
+) -> None:
+    """Overwrite the RHS at physical-boundary points (in place).
+
+    ``coords``: interior grid-point coordinates (n, r, r, r, 3);
+    ``boundary_faces``: the mesh's (axis, side, octant-indices) list.
+    """
+    r_pts = np.linalg.norm(coords, axis=-1)
+    r_pts = np.maximum(r_pts, 1e-12)
+    done: set[tuple[int, str]] = set()
+    rsz = rhs.shape[-1]
+    for axis, side, octs in boundary_faces:
+        if (axis, side) in done:
+            raise ValueError("duplicate boundary face entry")
+        done.add((axis, side))
+        # face slice: index 0 (low) or r-1 (high) along the axis;
+        # array layout is [oct, z, y, x] so axis x->3, y->2, z->1
+        sl: list = [slice(None)] * 4
+        arr_axis = {0: 3, 1: 2, 2: 1}[axis]
+        sl[arr_axis] = 0 if side == "low" else rsz - 1
+        osel = (octs,) + tuple(sl[1:])
+        rr = r_pts[osel]
+        for var in range(S.NUM_VARS):
+            advect = 0.0
+            for d in range(3):
+                xd = coords[osel + (d,)]
+                advect = advect + xd * derivs.d1[var, d][osel]
+            u = values[var][osel]
+            rhs[var][osel] = -wave_speed * (advect + (u - ASYMPTOTIC[var])) / rr
+    return None

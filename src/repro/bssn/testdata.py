@@ -1,0 +1,89 @@
+"""Analytic test spacetimes for validation.
+
+Standard 'apples-with-apples' style test data used to validate BSSN
+implementations independently of binary runs:
+
+* **gauge wave** — flat spacetime in a wavelike slicing: an exact
+  solution whose evolution must reproduce pure gauge dynamics;
+* **linear (Teukolsky-like) wave** — a small transverse-traceless metric
+  perturbation: constraints hold to O(amplitude²) and the wave propagates
+  at light speed;
+* **robust stability noise** — random perturbations at the round-off
+  scale seeded on flat space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import state as S
+from .state import flat_metric_state
+
+
+def gauge_wave_state(coords: np.ndarray, *, amplitude: float = 0.01,
+                     wavelength: float = 8.0) -> np.ndarray:
+    """1-D gauge wave along x (Alcubierre et al. testbed, χ-BSSN form).
+
+    The 4-metric is flat in wavy coordinates:
+    ds² = −H dt² + H dx² + dy² + dz², H = 1 − A sin(2π(x−t)/L).
+    At t = 0: α = √H, γ_xx = H, K_xx = −∂_t H / (2 α H)... reduced here to
+    the BSSN variables with conformal decomposition.
+    """
+    x = coords[..., 0]
+    L = wavelength
+    A = amplitude
+    H = 1.0 - A * np.sin(2.0 * np.pi * x / L)
+    dH_dt = -2.0 * np.pi * A / L * np.cos(2.0 * np.pi * x / L)  # = -∂_x H at t=0
+
+    u = flat_metric_state(x.shape)
+    alpha = np.sqrt(H)
+    u[S.ALPHA] = alpha
+    # physical metric diag(H, 1, 1): det = H, χ = det^{-1/3}
+    chi = H ** (-1.0 / 3.0)
+    u[S.CHI] = chi
+    u[S.GT11] = chi * H
+    u[S.GT22] = chi
+    u[S.GT33] = chi
+    # extrinsic curvature: K_xx = −∂_t γ_xx/(2α) = −dH_dt/(2α); K = γ^xx K_xx
+    K_xx = -dH_dt / (2.0 * alpha)
+    trK = K_xx / H
+    u[S.K] = trK
+    # Ã_ij = χ (K_ij − γ_ij K/3)
+    u[S.AT11] = chi * (K_xx - H * trK / 3.0)
+    u[S.AT22] = chi * (-trK / 3.0)
+    u[S.AT33] = chi * (-trK / 3.0)
+    # Γ̃^x = −∂_x γ̃^xx (diagonal metric): γ̃^xx = 1/(χH) = H^{-2/3}
+    dgtxx_inv = (2.0 / 3.0) * H ** (-5.0 / 3.0) * (
+        2.0 * np.pi * A / L * np.cos(2.0 * np.pi * x / L)
+    )
+    u[S.GT0] = -dgtxx_inv
+    return u
+
+
+def linear_wave_state(coords: np.ndarray, *, amplitude: float = 1e-8,
+                      wavelength: float = 8.0) -> np.ndarray:
+    """Linear transverse-traceless wave along x: h_yy = −h_zz = A sin(kx),
+    time-symmetric moment (∂_t h = 0 superposition of left/right movers).
+    Constraint violations are O(A²)."""
+    x = coords[..., 0]
+    b = amplitude * np.sin(2.0 * np.pi * x / wavelength)
+    u = flat_metric_state(x.shape)
+    # physical metric diag(1, 1+b, 1-b): det = 1−b² ≈ 1
+    det = 1.0 - b**2
+    chi = det ** (-1.0 / 3.0)
+    u[S.CHI] = chi
+    u[S.GT11] = chi
+    u[S.GT22] = chi * (1.0 + b)
+    u[S.GT33] = chi * (1.0 - b)
+    return u
+
+
+def robust_stability_state(shape: tuple[int, ...], *, amplitude: float = 1e-10,
+                           rng: np.random.Generator | None = None) -> np.ndarray:
+    """Flat space plus uniform random noise in every variable (the
+    'robust stability' testbed: a stable code must not blow up)."""
+    if rng is None:
+        rng = np.random.default_rng(0)
+    u = flat_metric_state(shape)
+    u += rng.uniform(-amplitude, amplitude, size=u.shape)
+    return u

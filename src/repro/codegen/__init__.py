@@ -1,0 +1,44 @@
+"""SymPy-based RHS code generation (paper §IV-B, Table II, Figs. 10–11)."""
+
+from .equations import rhs_operation_count, symbolic_rhs
+from .generators import (
+    VARIANTS,
+    KernelSpec,
+    compile_kernel,
+    emit_source,
+    generate_binary_reduce,
+    generate_staged_cse,
+    generate_sympygr,
+    get_algebra_kernel,
+    get_kernel_spec,
+)
+from .graph import ExprDag, build_dag, line_graph_schedule
+from .regalloc import (
+    DEFAULT_BUDGET,
+    SpillStats,
+    Statement,
+    analyze_schedule,
+    max_live_values,
+)
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "ExprDag",
+    "KernelSpec",
+    "SpillStats",
+    "Statement",
+    "VARIANTS",
+    "analyze_schedule",
+    "build_dag",
+    "compile_kernel",
+    "emit_source",
+    "generate_binary_reduce",
+    "generate_staged_cse",
+    "generate_sympygr",
+    "get_algebra_kernel",
+    "get_kernel_spec",
+    "line_graph_schedule",
+    "max_live_values",
+    "rhs_operation_count",
+    "symbolic_rhs",
+]

@@ -1,0 +1,377 @@
+"""The three RHS code generators of paper §IV-B.
+
+* ``sympygr``      — the baseline: global common-subexpression elimination
+  over all 24 equations (SymPyGR's strategy).  Fewest flops, but the ~900
+  temporaries have long live ranges -> heavy register spilling.
+* ``binary-reduce`` — Algorithm 3: emit one binary operation per node of
+  the expression DAG, in the order given by the topological sort of the
+  DAG's line graph, evicting values as they die.  Slightly more
+  statements, far shorter live ranges.
+* ``staged-cse``   — per-equation CSE: each equation is generated and
+  completed independently ("compute the RHS of an equation as soon as its
+  derivatives are ready"), so temporaries never live across equations.
+
+All three compile to NumPy kernels that are drop-in replacements for the
+reference ``evaluate_algebraic`` and must agree with it to roundoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+import sympy as sp
+from sympy.printing.numpy import NumPyPrinter
+
+from repro.bssn import state as S
+from .equations import symbolic_rhs
+from .graph import ExprDag, build_dag, dfs_schedule, line_graph_schedule
+from .regalloc import Statement
+
+VARIANTS = ("sympygr", "binary-reduce", "staged-cse")
+
+_printer = NumPyPrinter({"fully_qualified_modules": False})
+
+
+def _src(e: sp.Expr) -> str:
+    return _printer.doprint(e)
+
+
+def _inputs_of(e: sp.Expr) -> tuple[str, ...]:
+    return tuple(sorted(s.name for s in e.free_symbols))
+
+
+def _binarize(e: sp.Expr, target: str, prefix: str,
+              statements: list[Statement], *, is_output: bool = False,
+              output_var: int | None = None) -> None:
+    """Decompose one assignment into binary-op statements.
+
+    All variants are emitted (and register-analysed) at this granularity
+    so their schedules are comparable — a coarse multi-op statement would
+    hide its intra-statement register pressure.
+    """
+    counter = [0]
+    cache: dict = {}
+
+    def fresh() -> str:
+        counter[0] += 1
+        return f"{prefix}_{counter[0]}"
+
+    def emit(op_src: str, inputs: tuple[str, ...], name: str | None = None) -> str:
+        t = name if name is not None else fresh()
+        statements.append(Statement(target=t, src=op_src, inputs=inputs, flops=1))
+        return t
+
+    def visit(x: sp.Expr) -> tuple[str, bool]:
+        """Returns (reference string, is_register_value)."""
+        if x in cache:
+            return cache[x]
+        if isinstance(x, sp.Symbol):
+            res = (x.name, True)
+        elif x.is_Number:
+            res = (repr(float(x)), False)
+        elif isinstance(x, (sp.Add, sp.Mul)):
+            sym = "+" if isinstance(x, sp.Add) else "*"
+            refs = [visit(a) for a in x.args]
+            acc_ref, acc_val = refs[0]
+            for ref, is_val in refs[1:]:
+                ins = tuple(
+                    r for r, v in ((acc_ref, acc_val), (ref, is_val)) if v
+                )
+                acc_ref = emit(f"{acc_ref} {sym} {ref}", ins)
+                acc_val = True
+            res = (acc_ref, acc_val)
+        elif isinstance(x, sp.Pow):
+            base_ref, base_val = visit(x.base)
+            exp = x.exp
+            if exp.is_Integer and 1 < int(exp) <= 4:
+                acc = base_ref
+                for _ in range(int(exp) - 1):
+                    acc = emit(f"{acc} * {base_ref}",
+                               (acc, base_ref) if base_val else (acc,))
+                res = (acc, True)
+            else:
+                ins = (base_ref,) if base_val else ()
+                res = (emit(f"{base_ref} ** {float(exp)!r}", ins), True)
+        else:
+            raise NotImplementedError(f"unsupported head {type(x)}")
+        cache[x] = res
+        return res
+
+    ref, is_val = visit(sp.sympify(e))
+    if statements and statements[-1].target == ref and ref.startswith(prefix):
+        # rename the final intermediate instead of emitting a copy
+        last = statements[-1]
+        statements[-1] = Statement(
+            target=target, src=last.src, inputs=last.inputs, flops=last.flops,
+            is_output=is_output, output_var=output_var,
+        )
+    else:
+        statements.append(
+            Statement(target=target, src=ref, inputs=(ref,) if is_val else (),
+                      flops=0, is_output=is_output, output_var=output_var)
+        )
+
+
+@dataclass
+class KernelSpec:
+    """A generated A-component kernel."""
+
+    variant: str
+    statements: list[Statement]
+    input_names: set[str]
+    source: str = ""
+    dag: ExprDag | None = None
+    #: how derivative inputs materialise in registers (see regalloc)
+    input_defs: str = "upfront"
+
+    @property
+    def num_temps(self) -> int:
+        """Statements that are not outputs."""
+        return sum(1 for s in self.statements if not s.is_output)
+
+    @property
+    def total_flops(self) -> int:
+        """Flops per grid point of the schedule."""
+        return sum(s.flops for s in self.statements)
+
+
+# ---------------------------------------------------------------------------
+# generators
+# ---------------------------------------------------------------------------
+
+def _all_input_names(syms) -> set[str]:
+    from .symbols import PARAM_SYMBOLS
+
+    return set(syms) | set(PARAM_SYMBOLS)
+
+
+def generate_sympygr() -> KernelSpec:
+    """Baseline: global CSE across all 24 equations, temporaries emitted
+    in CSE discovery order and all final expressions evaluated last —
+    the long-live-range structure the paper criticises."""
+    exprs, syms = symbolic_rhs()
+    repl, reduced = sp.cse(exprs, symbols=sp.numbered_symbols("x"), order="none")
+    statements: list[Statement] = []
+    for i, (sym, sub) in enumerate(repl):
+        _binarize(sub, str(sym), f"c{i}", statements)
+    for var, e in enumerate(reduced):
+        _binarize(e, f"rhs_{var}", f"o{var}", statements,
+                  is_output=True, output_var=var)
+    return KernelSpec("sympygr", statements, _all_input_names(syms))
+
+
+def generate_binary_reduce() -> KernelSpec:
+    """Algorithm 3: one binary statement per DAG node, in a
+    liveness-reducing topological order (see :func:`dfs_schedule`)."""
+    exprs, syms = symbolic_rhs()
+    dag = build_dag(exprs)
+    order = dfs_schedule(dag)
+
+    def ref(nid: int) -> str:
+        node = dag.nodes[nid]
+        if node.op == "input":
+            return node.name  # type: ignore[return-value]
+        if node.op == "const":
+            return repr(node.value)
+        return f"t{nid}"
+
+    def operands(node) -> tuple[str, ...]:
+        return tuple(ref(a) for a in node.args if dag.nodes[a].op != "const")
+
+    statements: list[Statement] = []
+    for nid in order:
+        node = dag.nodes[nid]
+        if node.op == "add":
+            src = f"{ref(node.args[0])} + {ref(node.args[1])}"
+        elif node.op == "mul":
+            src = f"{ref(node.args[0])} * {ref(node.args[1])}"
+        elif node.op == "pow":
+            src = f"{ref(node.args[0])} ** {node.exponent!r}"
+        else:  # pragma: no cover - inputs/consts are never scheduled
+            raise AssertionError(node.op)
+        statements.append(
+            Statement(
+                target=f"t{nid}",
+                src=src,
+                inputs=operands(node),
+                flops=1,
+                is_output=node.is_output,
+                output_var=node.output_var,
+            )
+        )
+    return KernelSpec("binary-reduce", statements, _all_input_names(syms), dag=dag)
+
+
+def generate_staged_cse() -> KernelSpec:
+    """Staged + CSE: the baseline's global-CSE statements, re-staged so
+    that each equation is completed as soon as its inputs are ready.
+
+    Temporaries are hoisted to the first equation that needs them (no
+    recomputation, so the flop count equals the baseline's), and
+    derivative inputs materialise on demand — "compute the RHS of an
+    equation as soon as its derivatives are ready", which shortens the
+    live ranges of both temporaries and the 210 derivative values.
+    """
+    base = generate_sympygr()
+    by_target = {st.target: i for i, st in enumerate(base.statements)}
+    emitted: set[int] = set()
+    staged: list[Statement] = []
+
+    def emit_with_deps(root: int) -> None:
+        stack: list[tuple[int, bool]] = [(root, False)]
+        while stack:
+            idx, ready = stack.pop()
+            if idx in emitted:
+                continue
+            if ready:
+                emitted.add(idx)
+                staged.append(base.statements[idx])
+                continue
+            stack.append((idx, True))
+            for name in reversed(base.statements[idx].inputs):
+                dep = by_target.get(name)
+                if dep is not None and dep not in emitted:
+                    stack.append((dep, False))
+
+    outputs = [i for i, st in enumerate(base.statements) if st.is_output]
+    for idx in sorted(outputs, key=lambda i: base.statements[i].output_var):
+        emit_with_deps(idx)
+    # dead statements (if any) are dropped rather than emitted
+    return KernelSpec("staged-cse", staged, set(base.input_names),
+                      input_defs="on-demand")
+
+
+# ---------------------------------------------------------------------------
+# emission & compilation
+# ---------------------------------------------------------------------------
+
+def emit_source(spec: KernelSpec) -> str:
+    """Python source of the kernel: env-bound inputs, one line per
+    statement, returns the 24 outputs."""
+    used: set[str] = set()
+    for st in spec.statements:
+        used.update(n for n in st.inputs if n in spec.input_names)
+    lines = ["def A_kernel(env):"]
+    for name in sorted(used):
+        lines.append(f"    {name} = env['{name}']")
+    out_names = ["None"] * S.NUM_VARS
+    for st in spec.statements:
+        lines.append(f"    {st.target} = {st.src}")
+        if st.is_output:
+            out_names[st.output_var] = st.target  # type: ignore[index]
+    lines.append("    return [" + ", ".join(out_names) + "]")
+    return "\n".join(lines) + "\n"
+
+
+def compile_kernel(spec: KernelSpec):
+    """Compile the emitted source; returns ``A_kernel(env) -> list[24]``."""
+    if not spec.source:
+        spec.source = emit_source(spec)
+    ns: dict = {"numpy": np, "np": np}
+    exec(compile(spec.source, f"<generated:{spec.variant}>", "exec"), ns)
+    return ns["A_kernel"]
+
+
+def _cache_dir():
+    import pathlib
+
+    d = pathlib.Path(__file__).resolve().parent / "_generated_cache"
+    d.mkdir(exist_ok=True)
+    return d
+
+
+def _cache_key() -> str:
+    """Invalidate the on-disk cache when the symbolic equations or the
+    generators change."""
+    import hashlib
+    import inspect
+    import pathlib
+
+    from repro.bssn import rhs as _rhs_mod
+
+    h = hashlib.sha256()
+    h.update(inspect.getsource(_rhs_mod).encode())
+    h.update(pathlib.Path(__file__).read_bytes())
+    return h.hexdigest()[:16]
+
+
+def _load_cached_spec(variant: str) -> KernelSpec | None:
+    import pickle
+
+    path = _cache_dir() / f"{variant}-{_cache_key()}.pkl"
+    if not path.exists():
+        return None
+    try:
+        with open(path, "rb") as f:
+            data = pickle.load(f)
+        return KernelSpec(
+            variant=data["variant"],
+            statements=[Statement(**s) for s in data["statements"]],
+            input_names=set(data["input_names"]),
+            source=data["source"],
+            input_defs=data["input_defs"],
+        )
+    except Exception:
+        return None
+
+
+def _store_cached_spec(spec: KernelSpec) -> None:
+    import pickle
+    from dataclasses import asdict
+
+    path = _cache_dir() / f"{spec.variant}-{_cache_key()}.pkl"
+    data = {
+        "variant": spec.variant,
+        "statements": [asdict(s) for s in spec.statements],
+        "input_names": sorted(spec.input_names),
+        "source": spec.source,
+        "input_defs": spec.input_defs,
+    }
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "wb") as f:
+        pickle.dump(data, f)
+    tmp.replace(path)
+
+
+@lru_cache(maxsize=None)
+def get_kernel_spec(variant: str) -> KernelSpec:
+    """Generate (or load from the disk cache) one variant's spec."""
+    cached = _load_cached_spec(variant)
+    if cached is not None:
+        return cached
+    if variant == "sympygr":
+        spec = generate_sympygr()
+    elif variant == "binary-reduce":
+        spec = generate_binary_reduce()
+    elif variant == "staged-cse":
+        spec = generate_staged_cse()
+    else:
+        raise ValueError(f"unknown variant {variant!r}; choose from {VARIANTS}")
+    spec.source = emit_source(spec)
+    _store_cached_spec(spec)
+    return spec
+
+
+@lru_cache(maxsize=None)
+def get_algebra_kernel(variant: str):
+    """An ``algebra(values, derivs, params)`` callable compatible with
+    :func:`repro.bssn.rhs.bssn_rhs`'s ``algebra=`` hook."""
+    from .symbols import bind_inputs
+
+    spec = get_kernel_spec(variant)
+    fn = compile_kernel(spec)
+
+    def algebra(values, derivs, params):
+        chi_f = np.maximum(values[S.CHI], params.chi_floor)
+        env = bind_inputs(values, derivs, params, chi_f)
+        outs = fn(env)
+        rhs = np.empty_like(values)
+        for v in range(S.NUM_VARS):
+            rhs[v] = outs[v]
+        return rhs
+
+    algebra.variant = variant  # type: ignore[attr-defined]
+    algebra.spec = spec  # type: ignore[attr-defined]
+    return algebra

@@ -1,0 +1,26 @@
+"""Finite-difference stencils (6th order) and patch derivative operators."""
+
+from .derivatives import PatchDerivatives, apply_stencil
+from .stencils import (
+    D1_CENTERED_6,
+    D1_UPWIND_NEG,
+    D1_UPWIND_POS,
+    D2_CENTERED_6,
+    KO_DISS_6,
+    Stencil,
+    fd_weights,
+    one_sided_first,
+)
+
+__all__ = [
+    "D1_CENTERED_6",
+    "D1_UPWIND_NEG",
+    "D1_UPWIND_POS",
+    "D2_CENTERED_6",
+    "KO_DISS_6",
+    "PatchDerivatives",
+    "Stencil",
+    "apply_stencil",
+    "fd_weights",
+    "one_sided_first",
+]

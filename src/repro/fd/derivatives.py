@@ -1,0 +1,211 @@
+"""Vectorised application of FD stencils to octant patches.
+
+Patches are arrays of shape ``(n_oct, P, P, P)`` with ``P = r + 2k``
+(paper §III-C: r = 7, k = 3).  Applying a 7-point stencil along one axis
+consumes the padding on that axis; the helpers below return derivatives on
+the ``r^3`` interior, matching what the GPU RHS kernel computes into
+thread-local storage (Fig. 9).
+
+All functions are allocation-conscious: they accumulate shifted views
+(never copies of the input) into a single output array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .stencils import (
+    D1_CENTERED_4,
+    D1_CENTERED_6,
+    D1_UPWIND_NEG,
+    D1_UPWIND_POS,
+    D2_CENTERED_4,
+    D2_CENTERED_6,
+    KO_DISS_4,
+    KO_DISS_6,
+    Stencil,
+)
+
+
+def _h_factor(h, h_power: int, ndim: int):
+    """Scale factor 1/h^p for scalar h, or a broadcastable per-octant
+    array for h of shape (n,) against arrays of shape (n, ...)."""
+    h = np.asarray(h, dtype=np.float64)
+    if h.ndim == 0:
+        return float(h) ** (-h_power)
+    return h.reshape((-1,) + (1,) * (ndim - 1)) ** (-h_power)
+
+
+def apply_stencil(
+    u: np.ndarray, stencil: Stencil, h, axis: int, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Apply a 1-D stencil along ``axis``; the output is shorter by the
+    stencil width along that axis (other axes unchanged).
+
+    ``h`` may be a scalar or a per-octant array of shape ``(n,)`` when
+    ``u`` has shape ``(n, ...)`` (mixed-level batches).
+    """
+    n = u.shape[axis]
+    left, right = stencil.left, stencil.right
+    m = n - left - right
+    if m <= 0:
+        raise ValueError(f"axis {axis} too short ({n}) for stencil width {left + right}")
+    h_arr = np.asarray(h, dtype=np.float64)
+    if h_arr.ndim == 0:
+        w = stencil.scale(float(h_arr))
+        hf = None
+    else:
+        w = stencil.weights
+        hf = _h_factor(h_arr, stencil.h_power, u.ndim)
+    out_shape = list(u.shape)
+    out_shape[axis] = m
+    if out is None:
+        out = np.zeros(out_shape, dtype=u.dtype)
+    else:
+        if list(out.shape) != out_shape:
+            raise ValueError("out has wrong shape")
+        out[...] = 0.0
+    src = [slice(None)] * u.ndim
+    for off, wj in zip(stencil.offsets, w):
+        if wj == 0.0:
+            continue
+        s = int(off) + left
+        src[axis] = slice(s, s + m)
+        out += wj * u[tuple(src)]
+    if hf is not None:
+        out *= hf
+    return out
+
+
+def _interior(u: np.ndarray, k: int, axes: tuple[int, ...]) -> np.ndarray:
+    """Strip ``k`` points of padding from the given axes (view, no copy)."""
+    sl = [slice(None)] * u.ndim
+    for ax in axes:
+        sl[ax] = slice(k, u.shape[ax] - k)
+    return u[tuple(sl)]
+
+
+class PatchDerivatives:
+    """Derivative operators for padded patches ``(n, P, P, P)``.
+
+    Axis convention: array index order is ``[oct, z, y, x]`` (C order, x
+    fastest) — derivative direction 0/1/2 = x/y/z maps to array axes
+    3/2/1.
+    """
+
+    AXIS = {0: 3, 1: 2, 2: 1}
+
+    def __init__(self, k: int = 3, order: int = 6):
+        if order == 6:
+            self._d1s, self._d2s, self._kos = (
+                D1_CENTERED_6, D2_CENTERED_6, KO_DISS_6,
+            )
+        elif order == 4:
+            self._d1s, self._d2s, self._kos = (
+                D1_CENTERED_4, D2_CENTERED_4, KO_DISS_4,
+            )
+        else:
+            raise ValueError("order must be 4 or 6")
+        self.order = order
+        self.k = k
+
+    def _check(self, u: np.ndarray) -> None:
+        if u.ndim != 4:
+            raise ValueError("patches must have shape (n, P, P, P)")
+        if min(u.shape[1:]) <= 2 * self.k:
+            raise ValueError("patch too small for padding width")
+
+    def _crop(self, d: np.ndarray, left: int, n_in: int, ax: int) -> np.ndarray:
+        """Crop a stencil output to the r-point interior window when the
+        stencil is narrower than the padding (e.g. order 4 with k = 3)."""
+        m_int = n_in - 2 * self.k
+        if d.shape[ax] == m_int:
+            return d
+        start = self.k - left
+        sl = [slice(None)] * d.ndim
+        sl[ax] = slice(start, start + m_int)
+        return d[tuple(sl)]
+
+    def d1(self, u: np.ndarray, h: float, direction: int) -> np.ndarray:
+        """First derivative on the r^3 interior (order 6 or 4)."""
+        self._check(u)
+        ax = self.AXIS[direction]
+        other = tuple(a for a in (1, 2, 3) if a != ax)
+        # crop the orthogonal axes first: ~3x less stencil work
+        d = apply_stencil(_interior(u, self.k, other), self._d1s, h, ax)
+        return self._crop(d, self._d1s.left, u.shape[ax], ax)
+
+    def d2(self, u: np.ndarray, h: float, direction: int) -> np.ndarray:
+        """Second derivative ∂_ii on the interior."""
+        self._check(u)
+        ax = self.AXIS[direction]
+        other = tuple(a for a in (1, 2, 3) if a != ax)
+        d = apply_stencil(_interior(u, self.k, other), self._d2s, h, ax)
+        return self._crop(d, self._d2s.left, u.shape[ax], ax)
+
+    def d2_mixed(self, u: np.ndarray, h: float, dir_a: int, dir_b: int) -> np.ndarray:
+        """Mixed second derivative ∂_a∂_b (a != b) as composed first
+        derivatives."""
+        if dir_a == dir_b:
+            return self.d2(u, h, dir_a)
+        self._check(u)
+        ax_a, ax_b = self.AXIS[dir_a], self.AXIS[dir_b]
+        other = tuple(a for a in (1, 2, 3) if a not in (ax_a, ax_b))
+        d = apply_stencil(_interior(u, self.k, other), self._d1s, h, ax_a)
+        d = self._crop(d, self._d1s.left, u.shape[ax_a], ax_a)
+        d = apply_stencil(d, self._d1s, h, ax_b)
+        return self._crop(d, self._d1s.left, u.shape[ax_b], ax_b)
+
+    def ko(self, u: np.ndarray, h: float, direction: int) -> np.ndarray:
+        """Kreiss–Oliger dissipation contribution along one direction."""
+        self._check(u)
+        ax = self.AXIS[direction]
+        other = tuple(a for a in (1, 2, 3) if a != ax)
+        d = apply_stencil(_interior(u, self.k, other), self._kos, h, ax)
+        return self._crop(d, self._kos.left, u.shape[ax], ax)
+
+    def ko_all(self, u: np.ndarray, h: float) -> np.ndarray:
+        """Sum of KO dissipation along all three directions."""
+        out = self.ko(u, h, 0)
+        out += self.ko(u, h, 1)
+        out += self.ko(u, h, 2)
+        return out
+
+    def d1_upwind(
+        self, u: np.ndarray, h: float, direction: int, beta: np.ndarray
+    ) -> np.ndarray:
+        """Upwind-biased first derivative chosen pointwise by sign(beta).
+
+        ``beta`` must have the interior shape ``(n, r, r, r)``.
+        """
+        self._check(u)
+        ax = self.AXIS[direction]
+        other = tuple(a for a in (1, 2, 3) if a != ax)
+        v = _interior(u, self.k, other)
+        n = u.shape[ax]
+        m_int = n - 2 * self.k
+
+        def biased(stencil):
+            d = apply_stencil(v, stencil, h, ax)
+            # valid output index j corresponds to input index j + left;
+            # the interior starts at input index k
+            start = self.k - stencil.left
+            sl = [slice(None)] * v.ndim
+            sl[ax] = slice(start, start + m_int)
+            return d[tuple(sl)]
+
+        dpos = biased(D1_UPWIND_POS)
+        dneg = biased(D1_UPWIND_NEG)
+        return np.where(np.asarray(beta) >= 0.0, dpos, dneg)
+
+    def all_first(self, u: np.ndarray, h: float) -> list[np.ndarray]:
+        """[d/dx, d/dy, d/dz] on the interior."""
+        return [self.d1(u, h, d) for d in range(3)]
+
+    def all_second(self, u: np.ndarray, h: float) -> dict[tuple[int, int], np.ndarray]:
+        """All 6 distinct second derivatives keyed by (a, b) with a <= b."""
+        out: dict[tuple[int, int], np.ndarray] = {}
+        for a in range(3):
+            for b in range(a, 3):
+                out[(a, b)] = self.d2_mixed(u, h, a, b)
+        return out

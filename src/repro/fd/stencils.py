@@ -1,0 +1,138 @@
+"""Finite-difference stencil coefficients.
+
+The paper discretises the BSSN equations with O(h^6) centred stencils
+(§III-A) on octant patches padded with k = 3 points per side (§III-C), and
+adds 7-point Kreiss–Oliger dissipation to damp high-frequency noise near
+the punctures.  All stencils here fit in the 7-point window allowed by the
+padding width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def fd_weights(nodes: np.ndarray, x0: float, m: int) -> np.ndarray:
+    """Fornberg finite-difference weights.
+
+    Returns the weights ``w`` such that ``sum(w * f(nodes))`` approximates
+    the ``m``-th derivative of ``f`` at ``x0``, exact for polynomials of
+    degree ``len(nodes) - 1``.
+    """
+    nodes = np.asarray(nodes, dtype=np.float64)
+    n = len(nodes)
+    if m >= n:
+        raise ValueError("need more nodes than derivative order")
+    # Solve the Vandermonde moment system: sum_j w_j (x_j - x0)^p = p! δ_{pm}
+    d = nodes - x0
+    A = np.vander(d, n, increasing=True).T  # A[p, j] = d_j^p
+    b = np.zeros(n)
+    fact = 1.0
+    for i in range(2, m + 1):
+        fact *= i
+    b[m] = fact
+    return np.linalg.solve(A, b)
+
+
+class Stencil:
+    """An FD stencil: integer offsets, weights, and an h power."""
+
+    def __init__(self, offsets, weights, h_power: int):
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self.weights = np.asarray(weights, dtype=np.float64)
+        self.h_power = int(h_power)
+        if len(self.offsets) != len(self.weights):
+            raise ValueError("offsets and weights must match")
+
+    @property
+    def width(self) -> int:
+        """Total stencil extent (max offset − min offset)."""
+        return int(self.offsets.max() - self.offsets.min())
+
+    @property
+    def left(self) -> int:
+        """Points needed on the low side."""
+        return int(-self.offsets.min())
+
+    @property
+    def right(self) -> int:
+        """Points needed on the high side."""
+        return int(self.offsets.max())
+
+    def scale(self, h: float) -> np.ndarray:
+        """Weights divided by h^p."""
+        return self.weights / h**self.h_power
+
+
+#: 6th-order centred first derivative (offsets -3..3).
+D1_CENTERED_6 = Stencil(
+    offsets=[-3, -2, -1, 0, 1, 2, 3],
+    weights=[-1 / 60, 3 / 20, -3 / 4, 0.0, 3 / 4, -3 / 20, 1 / 60],
+    h_power=1,
+)
+
+#: 6th-order centred second derivative (offsets -3..3).
+D2_CENTERED_6 = Stencil(
+    offsets=[-3, -2, -1, 0, 1, 2, 3],
+    weights=[1 / 90, -3 / 20, 3 / 2, -49 / 18, 3 / 2, -3 / 20, 1 / 90],
+    h_power=2,
+)
+
+#: 4th-order centred first derivative (Dendro's "644" fallback order).
+D1_CENTERED_4 = Stencil(
+    offsets=[-2, -1, 0, 1, 2],
+    weights=[1 / 12, -2 / 3, 0.0, 2 / 3, -1 / 12],
+    h_power=1,
+)
+
+#: 4th-order centred second derivative.
+D2_CENTERED_4 = Stencil(
+    offsets=[-2, -1, 0, 1, 2],
+    weights=[-1 / 12, 4 / 3, -5 / 2, 4 / 3, -1 / 12],
+    h_power=2,
+)
+
+#: 5-point Kreiss–Oliger dissipation (p = 2), paired with 4th-order
+#: interior stencils.
+KO_DISS_4 = Stencil(
+    offsets=[-2, -1, 0, 1, 2],
+    weights=np.array([-1.0, 4.0, -6.0, 4.0, -1.0]) / 16.0,
+    h_power=1,
+)
+
+#: 7-point Kreiss–Oliger dissipation operator (applied as ``+ sigma * KO``;
+#: the stencil is negative semi-definite so it damps).  This is
+#: ``(-1)^{p+1}/2^{2p} h^{2p-1} (D_+ D_-)^p`` with p = 3.
+KO_DISS_6 = Stencil(
+    offsets=[-3, -2, -1, 0, 1, 2, 3],
+    weights=np.array([1.0, -6.0, 15.0, -20.0, 15.0, -6.0, 1.0]) / 64.0,
+    h_power=1,
+)
+
+
+def _biased_first(offsets: list[int]) -> Stencil:
+    w = fd_weights(np.array(offsets, dtype=np.float64), 0.0, 1)
+    return Stencil(offsets=offsets, weights=w, h_power=1)
+
+
+#: 5th-order upwind-biased first derivatives for advection terms
+#: (β^i ∂_i u): the stencil leans into the flow direction while staying
+#: within the k = 3 padding window.
+D1_UPWIND_POS = _biased_first([-2, -1, 0, 1, 2, 3])  # use when shift beta > 0
+D1_UPWIND_NEG = _biased_first([-3, -2, -1, 0, 1, 2])  # use when shift beta < 0
+
+
+def one_sided_first(side: str, order: int = 4) -> Stencil:
+    """One-sided first derivative for Sommerfeld boundary conditions.
+
+    ``side='left'`` differentiates using points to the right of the
+    boundary point (offsets 0..order) and vice versa.
+    """
+    if side == "left":
+        offsets = list(range(0, order + 1))
+    elif side == "right":
+        offsets = list(range(-order, 1))
+    else:
+        raise ValueError("side must be 'left' or 'right'")
+    w = fd_weights(np.array(offsets, dtype=np.float64), 0.0, 1)
+    return Stencil(offsets=offsets, weights=w, h_power=1)

@@ -1,0 +1,127 @@
+"""Machine models for the performance substrate.
+
+The A100 parameters are the paper's own (§III-D): τ_f = 1.0e-13 s/flop,
+τ_m = 6.4e-13 s/byte, C_L = 40 MB of L2, C_R = 27 MB register file,
+ℓ ≈ 1/4, hence ξ ≈ 4e-8 and a machine balance τ_m/τ_f ≈ 6.4 (the paper
+rounds to 6.25).  The CPU nodes are modelled with the same slow–fast
+formalism using vendor peak numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Slow–fast memory machine model parameters (paper §III-D)."""
+
+    name: str
+    tau_f: float  # seconds per double-precision flop
+    tau_m: float  # seconds per byte of slow-memory traffic
+    cache_l2: float  # C_L, bytes (the "L2" level of the fast memory)
+    cache_regs: float  # C_R, bytes (the register-file level)
+    ell: float  # relative cost of fast-memory traffic (ℓ < 1)
+    cores: int = 1
+
+    @property
+    def xi(self) -> float:
+        """ξ = 1/C_L + ℓ/C_R (paper §III-D)."""
+        return 1.0 / self.cache_l2 + self.ell / self.cache_regs
+
+    @property
+    def peak_gflops(self) -> float:
+        """1/τ_f in GFlop/s."""
+        return 1e-9 / self.tau_f
+
+    @property
+    def peak_bandwidth_gbs(self) -> float:
+        """1/τ_m in GB/s."""
+        return 1e-9 / self.tau_m
+
+    @property
+    def balance(self) -> float:
+        """Arithmetic intensity above which a kernel can be compute bound
+        (paper: 1/0.16 = 6.25 for the A100)."""
+        return self.tau_m / self.tau_f
+
+
+#: NVIDIA A100 (paper values)
+A100 = MachineSpec(
+    name="NVIDIA A100",
+    tau_f=1.0e-13,
+    tau_m=6.4e-13,
+    cache_l2=40 * MB,
+    cache_regs=27 * MB,
+    ell=0.25,
+    cores=108,  # SMs
+)
+
+#: two-socket AMD EPYC 7763 node (Lonestar 6 CPU node): 128 cores,
+#: ~5 TF/s fp64 peak, ~400 GB/s aggregate DRAM bandwidth, 512 MB L3
+EPYC_7763_NODE = MachineSpec(
+    name="2x AMD EPYC 7763",
+    tau_f=2.0e-13,
+    tau_m=2.45e-12,
+    cache_l2=512 * MB,
+    cache_regs=64 * MB,  # aggregate L2
+    ell=0.25,
+    cores=128,
+)
+
+#: one EPYC 7763 socket (Fig. 15 uses "two EPYC sockets" = the node above)
+EPYC_7763_SOCKET = MachineSpec(
+    name="AMD EPYC 7763 socket",
+    tau_f=4.0e-13,
+    tau_m=4.9e-12,
+    cache_l2=256 * MB,
+    cache_regs=32 * MB,
+    ell=0.25,
+    cores=64,
+)
+
+#: Frontera Intel Xeon Platinum 8280 (Cascade Lake) node: 56 cores,
+#: ~3.1 TF/s fp64 peak, ~205 GB/s DRAM bandwidth
+FRONTERA_NODE = MachineSpec(
+    name="Frontera CLX node",
+    tau_f=3.2e-13,
+    tau_m=4.9e-12,
+    cache_l2=77 * MB,  # aggregate L3
+    cache_regs=56 * MB,  # aggregate L2
+    ell=0.25,
+    cores=56,
+)
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Simple latency/bandwidth interconnect model (α–β)."""
+
+    name: str
+    latency: float  # seconds per message
+    bandwidth: float  # bytes per second
+
+    def transfer_time(self, nbytes: float, messages: int = 1) -> float:
+        """α-β transfer time for a message batch."""
+        return messages * self.latency + nbytes / self.bandwidth
+
+
+#: Lonestar 6: HDR InfiniBand between dual-A100 nodes.  *Effective*
+#: halo-exchange numbers (including host staging, packing, and protocol
+#: overhead — much lower than line rate), calibrated so the strong/weak
+#: scaling trends of Figs. 17–18 are reproduced; see EXPERIMENTS.md.
+LONESTAR6_IB = Interconnect("HDR InfiniBand (effective)", latency=1.0e-5,
+                            bandwidth=10e9)
+
+#: Frontera: HDR-100 (100 Gb/s), same effective-rate caveat
+FRONTERA_IB = Interconnect("HDR-100 InfiniBand (effective)", latency=1.0e-5,
+                           bandwidth=5e9)
+
+#: CPU-node MPI on Lonestar 6: 128 ranks per node share the NIC, so the
+#: effective per-node halo rate is far below line rate and message
+#: latency is amplified by the rank count (calibrated to Fig. 17's CPU
+#: efficiencies; the CPU code also does not overlap communication).
+LONESTAR6_MPI_CPU = Interconnect("IB via 128 MPI ranks/node (effective)",
+                                 latency=1.0e-4, bandwidth=4e9)

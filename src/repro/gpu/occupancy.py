@@ -1,0 +1,97 @@
+"""CUDA occupancy arithmetic for the paper's launch configuration.
+
+``__launch_bounds__(343, 3)`` (Table II) promises ptxas that the RHS
+kernel launches 343-thread blocks and wants 3 resident blocks per SM;
+the compiler then caps registers per thread, which is the spill budget
+:mod:`repro.codegen.regalloc` analyses.  This module reproduces the
+occupancy calculation on A100 limits, so the register-budget knob in the
+ablations maps back to occupancy targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+
+@dataclass(frozen=True)
+class SMResources:
+    """Per-SM limits (NVIDIA A100 / compute capability 8.0)."""
+
+    max_threads: int = 2048
+    max_blocks: int = 32
+    registers: int = 65536
+    shared_memory: int = 167936  # 164 KB configurable
+    warp_size: int = 32
+    register_alloc_unit: int = 256
+
+
+A100_SM = SMResources()
+
+
+def registers_per_thread_cap(threads_per_block: int, min_blocks: int,
+                             sm: SMResources = A100_SM) -> int:
+    """Maximum registers/thread that still allows ``min_blocks`` resident
+    blocks — what ``__launch_bounds__`` makes ptxas enforce."""
+    if threads_per_block < 1 or min_blocks < 1:
+        raise ValueError("threads and blocks must be positive")
+    warps = math.ceil(threads_per_block / sm.warp_size)
+    threads_rounded = warps * sm.warp_size
+    per_block = sm.registers // min_blocks
+    cap = per_block // threads_rounded
+    # ptxas allocates registers in granules; round down to the granule
+    cap = (cap * threads_rounded // sm.register_alloc_unit) * \
+        sm.register_alloc_unit // threads_rounded
+    return max(1, cap)
+
+
+@dataclass
+class Occupancy:
+    """Resident blocks/warps for one kernel configuration."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    occupancy: float
+    limited_by: str
+
+
+def occupancy_for(
+    threads_per_block: int,
+    registers_per_thread: int,
+    shared_bytes_per_block: int = 0,
+    sm: SMResources = A100_SM,
+) -> Occupancy:
+    """Occupancy of a kernel on one SM."""
+    if threads_per_block > sm.max_threads:
+        raise ValueError("block exceeds SM thread limit")
+    warps = math.ceil(threads_per_block / sm.warp_size)
+    threads_rounded = warps * sm.warp_size
+
+    limits = {
+        "threads": sm.max_threads // threads_rounded,
+        "blocks": sm.max_blocks,
+        "registers": sm.registers // max(
+            1, registers_per_thread * threads_rounded
+        ),
+    }
+    if shared_bytes_per_block > 0:
+        limits["shared"] = sm.shared_memory // shared_bytes_per_block
+    blocks = min(limits.values())
+    limiter = min(limits, key=lambda k: limits[k])
+    resident_warps = blocks * warps
+    max_warps = sm.max_threads // sm.warp_size
+    return Occupancy(
+        blocks_per_sm=blocks,
+        warps_per_sm=resident_warps,
+        occupancy=resident_warps / max_warps,
+        limited_by=limiter,
+    )
+
+
+def paper_rhs_occupancy(registers_per_thread: int = 56,
+                        shared_bytes_per_block: int = 13**3 * 8) -> Occupancy:
+    """Occupancy of the paper's fused RHS kernel: 343-thread blocks, one
+    13³ double-precision shared workspace, register cap from the launch
+    bounds."""
+    return occupancy_for(343, registers_per_thread, shared_bytes_per_block)

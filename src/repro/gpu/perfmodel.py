@@ -1,0 +1,120 @@
+"""The slow–fast memory performance model of paper §III-D.
+
+Two variants:
+
+* infinite fast memory:  T∞(f, m) = f τ_f + m τ_m
+* finite fast memory:    T(f, m)  = m τ_m max(1, m ξ) + f τ_f
+
+with ξ = 1/C_L + ℓ/C_R.  Kernels whose arithmetic intensity Q = f/m is
+below the machine balance τ_m/τ_f (6.25 for the A100) are bandwidth
+bound; all kernels in this code are (Eq. 20–21).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import A100, MachineSpec
+
+
+@dataclass
+class KernelStats:
+    """Work/traffic counts of one kernel launch.
+
+    ``extra_slow_bytes`` is register-spill / local-memory traffic: it is
+    costed at the *fast-memory* rate ℓ·τ_m (spills are cached in L1/L2,
+    not streamed from DRAM), on both GPUs and CPUs.
+    """
+
+    name: str
+    flops: float
+    bytes_moved: float
+    extra_slow_bytes: float = 0.0  # register-spill traffic (ℓ·τ_m each)
+
+    @property
+    def ai(self) -> float:
+        """Arithmetic intensity Q = f / m."""
+        return self.flops / max(self.bytes_moved, 1.0)
+
+    def scaled(self, factor: float) -> "KernelStats":
+        """The same kernel at ``factor`` times the work/traffic."""
+        return KernelStats(
+            self.name,
+            self.flops * factor,
+            self.bytes_moved * factor,
+            self.extra_slow_bytes * factor,
+        )
+
+
+def _spill_time(stats: KernelStats, machine: MachineSpec) -> float:
+    return stats.extra_slow_bytes * machine.ell * machine.tau_m
+
+
+def time_infinite_cache(stats: KernelStats, machine: MachineSpec = A100) -> float:
+    """T∞ = f τ_f + m τ_m (+ spill traffic at ℓ τ_m)."""
+    return (
+        stats.flops * machine.tau_f
+        + stats.bytes_moved * machine.tau_m
+        + _spill_time(stats, machine)
+    )
+
+
+def time_finite_cache(stats: KernelStats, machine: MachineSpec = A100) -> float:
+    """Finite-cache §III-D model with the max(1, m ξ) factor."""
+    m = stats.bytes_moved
+    mem = m * machine.tau_m * max(1.0, m * machine.xi)
+    return mem + stats.flops * machine.tau_f + _spill_time(stats, machine)
+
+
+def kernel_time(
+    stats: KernelStats, machine: MachineSpec = A100, model: str = "infinite"
+) -> float:
+    """Predicted kernel time in seconds."""
+    if model == "infinite":
+        return time_infinite_cache(stats, machine)
+    if model == "finite":
+        return time_finite_cache(stats, machine)
+    raise ValueError("model must be 'infinite' or 'finite'")
+
+
+def achieved_gflops(stats: KernelStats, time_s: float) -> float:
+    """GFlop/s implied by a kernel time."""
+    return stats.flops / time_s * 1e-9
+
+
+def is_bandwidth_bound(stats: KernelStats, machine: MachineSpec = A100) -> bool:
+    """True when AI is below the machine balance."""
+    return stats.ai < machine.balance
+
+
+# ---------------------------------------------------------------------------
+# the paper's analytic arithmetic-intensity bounds
+# ---------------------------------------------------------------------------
+
+def qu_octant_to_patch(r: int = 7, k: int = 3) -> float:
+    """Upper bound on the o2p arithmetic intensity (Eq. 20, ≈ 5.07)."""
+    num = 8 * 3 * (2 * r - 1) * r**3
+    den = 8 * (2 * r**2 + 2 * r**3 + 12 * r * k**2 + 6 * r**2 * k + 8 * k**3)
+    return num / den
+
+
+def ql_rhs(o_a: int, r: int = 7, k: int = 3, d: int = 4) -> float:
+    """Arithmetic intensity of the full RHS (Eq. 21a, ≈ 6.68 for the
+    paper's O_A).  ``d`` is the stencil half-width + 1 (7-point -> 4)."""
+    num = r**3 * (33 * (2 * d**2 - 1) + 177 * (2 * d - 1) + o_a)
+    den = 8 * (24 * (r + 2 * k) ** 3 + 24 * r**3)
+    return num / den
+
+
+def qa_algebraic(o_a: int, r: int = 7) -> float:
+    """Arithmetic intensity of the A component alone (Eq. 21b, ≈ 1.94)."""
+    num = r**3 * o_a
+    den = 8 * (24 * 2 + 210) * r**3
+    return num / den
+
+
+def paper_o_a(target_ql: float = 6.68, r: int = 7, k: int = 3, d: int = 4) -> int:
+    """The O_A implied by the paper's Q_L ≈ 6.68 (inverse of Eq. 21a)."""
+    den = 8 * (24 * (r + 2 * k) ** 3 + 24 * r**3)
+    rest = 33 * (2 * d**2 - 1) + 177 * (2 * d - 1)
+    return int(round(target_ql * den / r**3 - rest))

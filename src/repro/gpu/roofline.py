@@ -1,0 +1,59 @@
+"""Roofline model evaluation (paper Fig. 14).
+
+attainable GFlop/s at arithmetic intensity Q is
+``min(peak_flops, Q * peak_bandwidth)``; kernels sit on the bandwidth
+slope when Q is below the machine balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .device import A100, MachineSpec
+from .perfmodel import KernelStats, kernel_time
+
+
+def attainable_gflops(q: float, machine: MachineSpec = A100) -> float:
+    """Roofline ceiling at arithmetic intensity ``q`` (flops/byte)."""
+    return min(machine.peak_gflops, q * machine.peak_bandwidth_gbs)
+
+
+@dataclass
+class RooflinePoint:
+    """One kernel placed on the roofline."""
+
+    name: str
+    ai: float
+    gflops: float
+    ceiling: float
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved fraction of the roofline ceiling."""
+        return self.gflops / self.ceiling if self.ceiling > 0 else 0.0
+
+
+def place_kernel(
+    stats: KernelStats, machine: MachineSpec = A100, model: str = "infinite"
+) -> RooflinePoint:
+    """Predict a kernel's position on the roofline from the §III-D model."""
+    t = kernel_time(stats, machine, model)
+    gf = stats.flops / t * 1e-9 if t > 0 else 0.0
+    return RooflinePoint(
+        name=stats.name,
+        ai=stats.ai,
+        gflops=gf,
+        ceiling=attainable_gflops(stats.ai, machine),
+    )
+
+
+def roofline_curve(
+    machine: MachineSpec = A100, q_min: float = 0.125, q_max: float = 64.0,
+    num: int = 40,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(Q, GFlop/s) samples of the roofline for plotting/printing."""
+    q = np.geomspace(q_min, q_max, num)
+    g = np.minimum(machine.peak_gflops, q * machine.peak_bandwidth_gbs)
+    return q, g

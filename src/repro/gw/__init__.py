@@ -1,0 +1,64 @@
+"""Gravitational-wave analysis: SWSH, quadrature, extraction, model
+waveforms, detector curves."""
+
+from .compare import align, inner, l2_difference, mismatch, overlap
+from .detector import (
+    aplus_asd,
+    bandpass,
+    ce_asd,
+    colored_noise,
+    physical_strain,
+    snr_estimate,
+)
+from .extraction import ExtractionSphere, ModeTimeSeries, WaveExtractor
+from .fluxes import (
+    angular_momentum_flux_z,
+    energy_flux,
+    radiated_angular_momentum_z,
+    radiated_energy,
+    time_integrate,
+)
+from .lebedev import SphereRule, gauss_legendre_rule, lebedev_rule
+from .swsh import spin_weighted_ylm, wigner_d, ylm
+from .waveform import (
+    IMRWaveform,
+    peters_merger_time,
+    qnm_frequency,
+    remnant_spin,
+    resolution_requirements,
+    symmetric_mass_ratio,
+)
+
+__all__ = [
+    "ExtractionSphere",
+    "align",
+    "inner",
+    "l2_difference",
+    "mismatch",
+    "overlap",
+    "IMRWaveform",
+    "ModeTimeSeries",
+    "SphereRule",
+    "WaveExtractor",
+    "angular_momentum_flux_z",
+    "aplus_asd",
+    "energy_flux",
+    "radiated_angular_momentum_z",
+    "radiated_energy",
+    "time_integrate",
+    "bandpass",
+    "ce_asd",
+    "colored_noise",
+    "gauss_legendre_rule",
+    "lebedev_rule",
+    "peters_merger_time",
+    "physical_strain",
+    "qnm_frequency",
+    "remnant_spin",
+    "resolution_requirements",
+    "snr_estimate",
+    "spin_weighted_ylm",
+    "symmetric_mass_ratio",
+    "wigner_d",
+    "ylm",
+]

@@ -1,0 +1,84 @@
+"""Waveform comparison: overlaps, mismatches, and alignment.
+
+The paper's accuracy section compares waveforms across codes and
+resolutions (Figs. 19, 21).  The standard figures of merit are the
+normalised overlap maximised over time and phase shifts, and its
+complement, the mismatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_complex(h: np.ndarray) -> np.ndarray:
+    h = np.asarray(h)
+    return h.astype(complex) if not np.iscomplexobj(h) else h
+
+
+def inner(h1: np.ndarray, h2: np.ndarray, dt: float) -> complex:
+    """Unweighted time-domain inner product <h1, h2> = ∫ h1 h2* dt."""
+    h1, h2 = _as_complex(h1), _as_complex(h2)
+    if h1.shape != h2.shape:
+        raise ValueError("waveforms must share a time grid")
+    return complex(np.sum(h1 * np.conj(h2)) * dt)
+
+
+def overlap(h1: np.ndarray, h2: np.ndarray, dt: float, *,
+            maximize: bool = True) -> float:
+    """Normalised overlap in [0, 1], optionally maximised over relative
+    time shift and phase (via the FFT cross-correlation)."""
+    h1, h2 = _as_complex(h1), _as_complex(h2)
+    n1 = np.sqrt(abs(inner(h1, h1, dt)))
+    n2 = np.sqrt(abs(inner(h2, h2, dt)))
+    if n1 == 0.0 or n2 == 0.0:
+        raise ValueError("cannot normalise a zero waveform")
+    if not maximize:
+        return abs(inner(h1, h2, dt)) / (n1 * n2)
+    n = len(h1)
+    pad = 1 << int(np.ceil(np.log2(2 * n)))
+    f1 = np.fft.fft(h1, pad)
+    f2 = np.fft.fft(h2, pad)
+    corr = np.fft.ifft(f1 * np.conj(f2))
+    return float(np.abs(corr).max() * dt / (n1 * n2))
+
+
+def mismatch(h1: np.ndarray, h2: np.ndarray, dt: float) -> float:
+    """1 − overlap (time/phase maximised)."""
+    return max(0.0, 1.0 - overlap(h1, h2, dt))
+
+
+def align(
+    t: np.ndarray, h1: np.ndarray, h2: np.ndarray
+) -> tuple[np.ndarray, float]:
+    """Shift ``h2`` in time to best match ``h1`` (peak cross-correlation).
+
+    Returns ``(h2 advanced by shift, shift)``: positive shift means h2
+    lagged h1 and was advanced.
+    """
+    was_complex = np.iscomplexobj(h2)
+    h1c, h2c = _as_complex(h1), _as_complex(h2)
+    n = len(t)
+    dt = t[1] - t[0]
+    pad = 1 << int(np.ceil(np.log2(2 * n)))
+    corr = np.fft.ifft(np.fft.fft(h1c, pad) * np.conj(np.fft.fft(h2c, pad)))
+    lag = int(np.argmax(np.abs(corr)))
+    if lag > pad // 2:
+        lag -= pad
+    shift = -lag * dt  # h2(t + shift) ≈ h1(t)
+    sample_at = t + shift
+    shifted = np.interp(sample_at, t, np.real(h2c), left=0.0, right=0.0)
+    if was_complex:
+        shifted = shifted + 1j * np.interp(
+            sample_at, t, np.imag(h2c), left=0.0, right=0.0
+        )
+    return shifted, shift
+
+
+def l2_difference(h1: np.ndarray, h2: np.ndarray) -> float:
+    """Plain relative L2 difference (Fig. 19's y-axis flavour)."""
+    h1, h2 = np.asarray(h1), np.asarray(h2)
+    denom = np.sqrt(np.sum(np.abs(h1) ** 2))
+    if denom == 0.0:
+        raise ValueError("reference waveform is zero")
+    return float(np.sqrt(np.sum(np.abs(h1 - h2) ** 2)) / denom)

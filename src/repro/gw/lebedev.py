@@ -1,0 +1,130 @@
+"""Quadrature on the unit sphere.
+
+The paper integrates the (ℓ, m) projections of Ψ₄ with Lebedev
+quadrature [45].  Closed-form Lebedev rules of octahedral symmetry are
+provided for orders 3, 7, and 11; a Gauss–Legendre × uniform-φ product
+rule covers arbitrary band limits (used when modes with ℓ > 5 are
+needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.polynomial.legendre import leggauss
+
+
+@dataclass(frozen=True)
+class SphereRule:
+    """Quadrature nodes (unit vectors) and weights (summing to 4π)."""
+
+    points: np.ndarray  # (n, 3)
+    weights: np.ndarray  # (n,)
+
+    def __len__(self) -> int:
+        return len(self.weights)
+
+    @property
+    def theta(self) -> np.ndarray:
+        """Polar angles of the nodes."""
+        return np.arccos(np.clip(self.points[:, 2], -1.0, 1.0))
+
+    @property
+    def phi(self) -> np.ndarray:
+        """Azimuthal angles of the nodes."""
+        return np.arctan2(self.points[:, 1], self.points[:, 0])
+
+    def integrate(self, f_vals: np.ndarray) -> complex:
+        """∫ f dΩ from samples at the nodes."""
+        return complex(np.sum(self.weights * f_vals))
+
+
+def _axes() -> np.ndarray:
+    return np.array(
+        [[1, 0, 0], [-1, 0, 0], [0, 1, 0], [0, -1, 0], [0, 0, 1], [0, 0, -1]],
+        dtype=np.float64,
+    )
+
+
+def _edges() -> np.ndarray:
+    pts = []
+    v = 1.0 / np.sqrt(2.0)
+    for i in range(3):
+        for j in range(i + 1, 3):
+            for si in (1, -1):
+                for sj in (1, -1):
+                    p = np.zeros(3)
+                    p[i] = si * v
+                    p[j] = sj * v
+                    pts.append(p)
+    return np.array(pts)
+
+
+def _corners() -> np.ndarray:
+    v = 1.0 / np.sqrt(3.0)
+    return np.array(
+        [[sx * v, sy * v, sz * v] for sx in (1, -1) for sy in (1, -1) for sz in (1, -1)]
+    )
+
+
+def _family_llm(l: float, m: float) -> np.ndarray:
+    """24 points of the (±l, ±l, ±m) octahedral family (all orderings)."""
+    pts = []
+    for perm in ((0, 1, 2), (0, 2, 1), (2, 0, 1)):
+        for sx in (1, -1):
+            for sy in (1, -1):
+                for sz in (1, -1):
+                    base = np.array([l, l, m])[list(perm)]
+                    pts.append(base * np.array([sx, sy, sz]))
+    return np.unique(np.round(np.array(pts), 15), axis=0)
+
+
+def lebedev_rule(order: int) -> SphereRule:
+    """Classic Lebedev rules: order 3 (6 pts), 7 (26 pts), 11 (50 pts)."""
+    fourpi = 4.0 * np.pi
+    if order == 3:
+        pts = _axes()
+        w = np.full(6, fourpi / 6.0)
+    elif order == 7:
+        pts = np.vstack([_axes(), _edges(), _corners()])
+        w = np.concatenate(
+            [
+                np.full(6, fourpi / 21.0),
+                np.full(12, fourpi * 4.0 / 105.0),
+                np.full(8, fourpi * 27.0 / 840.0),
+            ]
+        )
+    elif order == 11:
+        l = 1.0 / np.sqrt(11.0)
+        m = 3.0 / np.sqrt(11.0)
+        fam = _family_llm(l, m)
+        pts = np.vstack([_axes(), _edges(), _corners(), fam])
+        w = np.concatenate(
+            [
+                np.full(6, fourpi * 4.0 / 315.0),
+                np.full(12, fourpi * 64.0 / 2835.0),
+                np.full(8, fourpi * 27.0 / 1280.0),
+                np.full(len(fam), fourpi * 14641.0 / 725760.0),
+            ]
+        )
+    else:
+        raise ValueError("available Lebedev orders: 3, 7, 11")
+    return SphereRule(points=pts, weights=w)
+
+
+def gauss_legendre_rule(n_theta: int, n_phi: int | None = None) -> SphereRule:
+    """Product rule: exact for spherical harmonics up to degree
+    2 n_theta − 1 (and m < n_phi/ ... band limit n_phi)."""
+    if n_phi is None:
+        n_phi = 2 * n_theta
+    x, wx = leggauss(n_theta)  # x = cos(theta)
+    phi = 2.0 * np.pi * np.arange(n_phi) / n_phi
+    wphi = 2.0 * np.pi / n_phi
+    ct, pp = np.meshgrid(x, phi, indexing="ij")
+    st = np.sqrt(1.0 - ct**2)
+    pts = np.stack(
+        [st * np.cos(pp), st * np.sin(pp), ct], axis=-1
+    ).reshape(-1, 3)
+    w = (wx[:, None] * wphi * np.ones_like(pp)).ravel()
+    return SphereRule(points=pts, weights=w)

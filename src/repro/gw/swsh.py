@@ -1,0 +1,73 @@
+"""Spin-weighted spherical harmonics.
+
+Ψ₄ has spin weight −2 and is decomposed on extraction spheres in the
+basis ``{}_{-2}Y_{lm}`` (paper §III-A).  The implementation uses the
+Wigner small-d matrix in its explicit factorial sum form, valid for any
+(s, l, m) with |s|, |m| <= l.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from math import factorial
+
+import numpy as np
+
+
+@lru_cache(maxsize=None)
+def _prefactor(l: int, m: int, mp: int) -> float:
+    return np.sqrt(
+        float(
+            factorial(l + m) * factorial(l - m) * factorial(l + mp) * factorial(l - mp)
+        )
+    )
+
+
+def wigner_d(l: int, m: int, mp: int, beta: np.ndarray) -> np.ndarray:
+    """Wigner small-d matrix element d^l_{m,mp}(beta).
+
+    Standard (Condon–Shortley) convention, so that
+    Y_lm = sqrt((2l+1)/4π) d^l_{m,0}(θ) e^{imφ} matches SciPy's
+    spherical harmonics.
+    """
+    if abs(m) > l or abs(mp) > l:
+        raise ValueError("|m|, |mp| must be <= l")
+    beta = np.asarray(beta, dtype=np.float64)
+    c = np.cos(beta / 2.0)
+    s = np.sin(beta / 2.0)
+    out = np.zeros_like(beta)
+    k_min = max(0, mp - m)
+    k_max = min(l + mp, l - m)
+    for k in range(k_min, k_max + 1):
+        denom = (
+            factorial(l + mp - k)
+            * factorial(k)
+            * factorial(m - mp + k)
+            * factorial(l - m - k)
+        )
+        sign = (-1.0) ** (m - mp + k)
+        out = out + sign / denom * c ** (2 * l + mp - m - 2 * k) * s ** (
+            m - mp + 2 * k
+        )
+    return _prefactor(l, m, mp) * out
+
+
+def spin_weighted_ylm(
+    s: int, l: int, m: int, theta: np.ndarray, phi: np.ndarray
+) -> np.ndarray:
+    """``{}_sY_{lm}(theta, phi)`` (complex)."""
+    if l < abs(s):
+        raise ValueError("l must be >= |s|")
+    if abs(m) > l:
+        raise ValueError("|m| must be <= l")
+    theta = np.asarray(theta, dtype=np.float64)
+    phi = np.asarray(phi, dtype=np.float64)
+    norm = np.sqrt((2 * l + 1) / (4.0 * np.pi))
+    return (
+        (-1.0) ** s * norm * wigner_d(l, m, -s, theta) * np.exp(1j * m * phi)
+    )
+
+
+def ylm(l: int, m: int, theta: np.ndarray, phi: np.ndarray) -> np.ndarray:
+    """Ordinary (spin-0) spherical harmonic."""
+    return spin_weighted_ylm(0, l, m, theta, phi)

@@ -1,0 +1,17 @@
+"""I/O: checkpoints, parameter files, command-line drivers."""
+
+from .checkpoint import load_checkpoint, restore_solver, save_checkpoint
+from .params import PRESETS, RunConfig, preset
+from .waveforms import load_modes, save_extractor, save_modes
+
+__all__ = [
+    "PRESETS",
+    "RunConfig",
+    "load_checkpoint",
+    "load_modes",
+    "save_extractor",
+    "save_modes",
+    "preset",
+    "restore_solver",
+    "save_checkpoint",
+]

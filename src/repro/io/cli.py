@@ -1,0 +1,106 @@
+"""Command-line drivers mirroring the paper artifact's executables.
+
+* ``repro-tpid``    — like ``BSSN_GR/tpid``: build puncture initial data
+  and report constraint residuals.
+* ``repro-bssn``    — like ``bssnSolverCtx`` / ``bssnSolverCUDA``: evolve
+  a parameter file (``--gpu`` switches to the generated-kernel execution
+  path).
+* ``repro-bench``   — print one experiment's table (E1..E16 names).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def tpid_main(argv=None) -> int:
+    """Initial-data 'solve': evaluate puncture data on the configured grid
+    and report constraint residuals (the analogue of running tpid)."""
+    from repro.bssn import compute_constraints, compute_derivatives
+    from .params import RunConfig, preset
+
+    ap = argparse.ArgumentParser(prog="repro-tpid", description=tpid_main.__doc__)
+    ap.add_argument("config", help="parameter file (JSON) or preset name (q1/q2/q4)")
+    args = ap.parse_args(argv)
+
+    cfg = preset(args.config) if args.config in ("q1", "q2", "q4") else RunConfig.load(args.config)
+    cfg.validate()
+    solver = cfg.build_solver()
+    mesh = solver.mesh
+    print(f"[{cfg.name}] grid: {mesh.num_octants} octants, "
+          f"{mesh.num_points:,} points/var, finest dx = {mesh.min_dx:.4g}")
+    con = solver.constraints()
+    for k, v in sorted(con.items()):
+        print(f"  {k:>10}: {v:.4e}")
+    return 0
+
+
+def bssn_main(argv=None) -> int:
+    """Evolve a BSSN run from a parameter file."""
+    from .checkpoint import restore_solver, save_checkpoint
+    from .params import RunConfig, preset
+
+    ap = argparse.ArgumentParser(prog="repro-bssn", description=bssn_main.__doc__)
+    ap.add_argument("config", help="parameter file (JSON) or preset name")
+    ap.add_argument("--steps", type=int, default=None,
+                    help="run a fixed number of steps instead of t_end")
+    ap.add_argument("--gpu", action="store_true",
+                    help="use the generated staged+CSE kernel (GPU path)")
+    ap.add_argument("--checkpoint", default=None, help="write a checkpoint here")
+    ap.add_argument("--restart", default=None, help="restart from a checkpoint")
+    args = ap.parse_args(argv)
+
+    cfg = preset(args.config) if args.config in ("q1", "q2", "q4") else RunConfig.load(args.config)
+    cfg.validate()
+    if args.restart:
+        solver = restore_solver(args.restart, cfg.bssn_params())
+        print(f"restarted from {args.restart} at t = {solver.t:.3f}")
+    else:
+        solver = cfg.build_solver()
+    if args.gpu:
+        from repro.codegen import get_algebra_kernel
+
+        print("generating staged+CSE kernel (GPU execution path)...")
+        solver.algebra = get_algebra_kernel("staged-cse")
+
+    print(f"[{cfg.name}] {solver.mesh.num_octants} octants, dt = {solver.dt:.4g}")
+    n_steps = args.steps if args.steps is not None else int(
+        np.ceil(cfg.t_end / solver.dt)
+    )
+    for i in range(n_steps):
+        if cfg.regrid_every and i and i % cfg.regrid_every == 0:
+            if solver.regrid(cfg.regrid_eps, max_level=cfg.max_level):
+                print(f"  regrid -> {solver.mesh.num_octants} octants")
+        solver.step()
+        if i % max(1, n_steps // 10) == 0:
+            a = solver.state[0]
+            print(f"  step {solver.step_count:5d}  t={solver.t:8.4f}  "
+                  f"min(alpha)={a.min():.4f}")
+    con = solver.constraints()
+    print(f"done: t = {solver.t:.4f}, ham_l2 = {con['ham_l2']:.3e}")
+    if args.checkpoint:
+        save_checkpoint(args.checkpoint, solver)
+        print(f"checkpoint written to {args.checkpoint}")
+    return 0
+
+
+def bench_main(argv=None) -> int:
+    """Regenerate one experiment's table (see DESIGN.md experiment index)."""
+    import subprocess
+
+    ap = argparse.ArgumentParser(prog="repro-bench", description=bench_main.__doc__)
+    ap.add_argument("experiment",
+                    help="bench module fragment, e.g. table1, fig17, fig19")
+    args = ap.parse_args(argv)
+    cmd = [
+        sys.executable, "-m", "pytest", "--benchmark-only", "-q", "-s",
+        "-k", args.experiment, "benchmarks/",
+    ]
+    return subprocess.call(cmd)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(bssn_main())

@@ -1,0 +1,143 @@
+"""JSON parameter files, mirroring the paper artifact's ``q1.par.json``-
+style configuration (Appendix: ``BSSN_GR/pars``).
+
+A :class:`RunConfig` fully determines a run: binary configuration, grid
+construction, gauge/dissipation parameters, evolution horizon, and
+extraction setup.  Bundled presets reproduce the paper's q = 1, 2, 4
+production configurations at a scaled-down default depth so they are
+runnable at toy scale.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict, dataclass, field
+
+from repro.bssn import BSSNParams, binary_punctures
+from repro.mesh import Mesh
+from repro.octree import Domain, bbh_grid
+
+
+@dataclass
+class RunConfig:
+    """One solver run, serialisable to/from JSON."""
+
+    name: str = "run"
+    # binary
+    mass_ratio: float = 1.0
+    separation: float = 8.0
+    total_mass: float = 1.0
+    quasi_circular: bool = True
+    # grid
+    domain_half_width: float = 50.0
+    base_level: int = 3
+    max_level: int = 6
+    refine_theta: float = 1.0
+    # gauge / dissipation
+    eta: float = 2.0
+    ko_sigma: float = 0.4
+    chi_floor: float = 1e-4
+    use_upwind: bool = True
+    # evolution
+    courant: float = 0.25
+    t_end: float = 1.0
+    regrid_every: int = 16
+    regrid_eps: float = 1e-3
+    # extraction
+    extraction_radii: list[float] = field(default_factory=lambda: [25.0])
+    extract_every: int = 16
+    l_max: int = 2
+
+    # -- serialisation ---------------------------------------------------
+    def to_json(self) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(asdict(self), indent=2)
+
+    def save(self, path) -> None:
+        """Write the JSON parameter file."""
+        pathlib.Path(path).write_text(self.to_json())
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunConfig":
+        """Parse a JSON string (unknown keys rejected)."""
+        data = json.loads(text)
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"unknown parameter(s): {sorted(unknown)}")
+        return cls(**data)
+
+    @classmethod
+    def load(cls, path) -> "RunConfig":
+        """Read a JSON parameter file."""
+        return cls.from_json(pathlib.Path(path).read_text())
+
+    def validate(self) -> None:
+        """Raise ValueError on inconsistent parameters."""
+        if self.mass_ratio < 1.0:
+            raise ValueError("mass_ratio is m1/m2 with m1 >= m2, so q >= 1")
+        if not 0 <= self.base_level <= self.max_level:
+            raise ValueError("need 0 <= base_level <= max_level")
+        if self.courant <= 0 or self.courant > 1:
+            raise ValueError("courant factor must be in (0, 1]")
+        if any(r >= self.domain_half_width for r in self.extraction_radii):
+            raise ValueError("extraction spheres must fit inside the domain")
+
+    # -- builders ----------------------------------------------------------
+    def bssn_params(self) -> BSSNParams:
+        """The run's BSSNParams."""
+        return BSSNParams(
+            eta=self.eta,
+            ko_sigma=self.ko_sigma,
+            chi_floor=self.chi_floor,
+            use_upwind=self.use_upwind,
+        )
+
+    def build_mesh(self) -> Mesh:
+        """Construct the balanced BBH mesh for this configuration."""
+        tree = bbh_grid(
+            mass_ratio=self.mass_ratio,
+            separation=self.separation,
+            total_mass=self.total_mass,
+            max_level=self.max_level,
+            base_level=self.base_level,
+            domain=Domain(-self.domain_half_width, self.domain_half_width),
+            theta=self.refine_theta,
+        )
+        return Mesh(tree)
+
+    def build_punctures(self):
+        """The run's puncture list."""
+        return binary_punctures(
+            mass_ratio=self.mass_ratio,
+            separation=self.separation,
+            total_mass=self.total_mass,
+            quasi_circular=self.quasi_circular,
+        )
+
+    def build_solver(self):
+        """Mesh + initial data + solver, ready to step."""
+        from repro.solver import BSSNSolver
+
+        self.validate()
+        solver = BSSNSolver(
+            self.build_mesh(), self.bssn_params(), courant=self.courant
+        )
+        solver.set_punctures(self.build_punctures())
+        return solver
+
+
+#: presets mirroring the artifact's parameter files (toy-scale depth)
+PRESETS = {
+    "q1": RunConfig(name="q1", mass_ratio=1.0, max_level=6),
+    "q2": RunConfig(name="q2", mass_ratio=2.0, max_level=6),
+    "q4": RunConfig(name="q4", mass_ratio=4.0, max_level=7),
+}
+
+
+def preset(name: str) -> RunConfig:
+    """A fresh copy of one of the bundled presets."""
+    if name not in PRESETS:
+        raise ValueError(f"unknown preset {name!r}; available: {sorted(PRESETS)}")
+    cfg = PRESETS[name]
+    return RunConfig(**asdict(cfg))

@@ -1,0 +1,76 @@
+"""Planar slices of meshes and fields (the views behind Figs. 3, 12, 13).
+
+Extracts uniform rasters of octant refinement level or of field values on
+an axis-aligned plane — handy for quick-look diagnostics and for the
+grid-structure benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.octree import LinearOctree
+from .grid import Mesh
+
+
+def level_slice(tree: LinearOctree, *, axis: int = 2, offset: float = 0.0,
+                resolution: int = 64) -> np.ndarray:
+    """Octant levels sampled on a ``resolution²`` raster of the plane
+    ``coord[axis] = offset`` (Fig. 3's panels)."""
+    dom = tree.domain
+    span = np.linspace(dom.xmin, dom.xmax, resolution, endpoint=False)
+    span = span + 0.5 * (span[1] - span[0])
+    a, b = np.meshgrid(span, span, indexing="ij")
+    pts = np.empty((resolution * resolution, 3))
+    others = [d for d in range(3) if d != axis]
+    pts[:, others[0]] = a.ravel()
+    pts[:, others[1]] = b.ravel()
+    pts[:, axis] = offset
+    lat = np.floor(dom.to_lattice(pts)).astype(np.int64)
+    idx = tree.locate_checked(lat[:, 0], lat[:, 1], lat[:, 2])
+    out = np.full(resolution * resolution, -1, dtype=np.int16)
+    ok = idx >= 0
+    out[ok] = tree.levels[idx[ok]].astype(np.int16)
+    return out.reshape(resolution, resolution)
+
+
+def field_slice(mesh: Mesh, u: np.ndarray, *, axis: int = 2,
+                offset: float = 0.0, resolution: int = 64,
+                pad: float = 1.0) -> np.ndarray:
+    """A field interpolated on a planar raster (simulation snapshots à la
+    Fig. 1)."""
+    dom = mesh.tree.domain
+    span = np.linspace(dom.xmin + pad, dom.xmax - pad, resolution)
+    a, b = np.meshgrid(span, span, indexing="ij")
+    pts = np.empty((resolution * resolution, 3))
+    others = [d for d in range(3) if d != axis]
+    pts[:, others[0]] = a.ravel()
+    pts[:, others[1]] = b.ravel()
+    pts[:, axis] = offset
+    vals = mesh.interpolate_to_points(u, pts)
+    return vals.reshape(resolution, resolution)
+
+
+def level_profile(tree: LinearOctree, *, axis: int = 0,
+                  num: int = 200) -> tuple[np.ndarray, np.ndarray]:
+    """(positions, levels) along a coordinate axis through the origin
+    (Fig. 12)."""
+    dom = tree.domain
+    xs = np.linspace(dom.xmin, dom.xmax, num, endpoint=False)
+    xs = xs + 0.5 * (xs[1] - xs[0])
+    pts = np.zeros((num, 3))
+    pts[:, axis] = xs
+    lat = np.floor(dom.to_lattice(pts)).astype(np.int64)
+    idx = tree.locate_checked(lat[:, 0], lat[:, 1], lat[:, 2])
+    levels = np.where(idx >= 0, tree.levels[np.clip(idx, 0, None)], -1)
+    return xs, levels.astype(np.int16)
+
+
+def ascii_level_map(tree: LinearOctree, *, axis: int = 2, offset: float = 0.0,
+                    resolution: int = 48) -> str:
+    """Printable level map of a slice (digits = level, '.' = outside)."""
+    grid = level_slice(tree, axis=axis, offset=offset, resolution=resolution)
+    rows = []
+    for row in grid:
+        rows.append("".join("." if v < 0 else f"{min(int(v), 9)}" for v in row))
+    return "\n".join(rows)

@@ -1,0 +1,50 @@
+"""Linear octrees: keys, construction, balancing, neighbours, partitioning.
+
+This subpackage reproduces the octree substrate Dendro-GR provides to the
+paper: leaf-only (linear) octrees in Morton/SFC order, 2:1 balancing,
+neighbour maps, and SFC partitioning (paper §III-B, §III-C).
+"""
+
+from .balance import DIRECTIONS, balance, is_balanced
+from .domain import Domain
+from .keys import LATTICE, MAX_DEPTH, morton_decode, morton_encode, octant_size
+from .linear_octree import LinearOctree
+from .neighbors import Adjacency, build_adjacency, face_neighbors
+from .hilbert import hilbert_key, hilbert_order
+from .octant import CHILD_OFFSETS, Octants
+from .partition import Partition, partition_octree, partition_octree_hilbert
+from .refine import (
+    adaptivity_family,
+    bbh_grid,
+    postmerger_grid,
+    puncture_refine_fn,
+    shell_refine_fn,
+)
+
+__all__ = [
+    "Adjacency",
+    "CHILD_OFFSETS",
+    "DIRECTIONS",
+    "Domain",
+    "LATTICE",
+    "LinearOctree",
+    "MAX_DEPTH",
+    "Octants",
+    "Partition",
+    "adaptivity_family",
+    "balance",
+    "bbh_grid",
+    "build_adjacency",
+    "hilbert_key",
+    "hilbert_order",
+    "face_neighbors",
+    "is_balanced",
+    "morton_decode",
+    "morton_encode",
+    "octant_size",
+    "partition_octree",
+    "partition_octree_hilbert",
+    "postmerger_grid",
+    "puncture_refine_fn",
+    "shell_refine_fn",
+]

@@ -1,0 +1,98 @@
+"""2:1 balancing of linear octrees.
+
+The paper (§III-B) enforces a 2:1 balance constraint so that any two
+leaves that touch (across a face, edge, or corner) differ by at most one
+refinement level.  This is what bounds the cases the *octant-to-patch*
+scatter has to handle (same level / one coarser / one finer, Alg. 2).
+
+The algorithm here is the classic ripple iteration: for every leaf, sample
+one lattice point just outside each of its 26 neighbouring directions; if
+the leaf containing that point is more than one level coarser, flag it for
+refinement.  Repeat until no flags are raised.  Each refinement can only
+propagate coarse-to-fine, so the loop terminates in at most ``max_level``
+iterations.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from .linear_octree import LinearOctree
+
+#: The 26 neighbour directions (excluding (0,0,0)).
+DIRECTIONS = np.array(
+    [d for d in itertools.product((-1, 0, 1), repeat=3) if d != (0, 0, 0)],
+    dtype=np.int64,
+)
+
+
+def _probe_coords(anchor: np.ndarray, size: np.ndarray, d: int) -> np.ndarray:
+    """One probe coordinate per octant for direction component ``d``.
+
+    ``d=-1`` probes just below the anchor, ``d=+1`` just past the far face,
+    ``d=0`` probes the middle of the octant (inside).
+    """
+    a = anchor.astype(np.int64)
+    s = size.astype(np.int64)
+    if d < 0:
+        return a - 1
+    if d > 0:
+        return a + s
+    return a + s // 2
+
+
+def balance(tree: LinearOctree, max_iterations: int | None = None) -> LinearOctree:
+    """Return a 2:1-balanced refinement of ``tree``.
+
+    The result is complete, contains a descendant-or-self of every input
+    leaf, and satisfies the 26-neighbourhood 2:1 constraint (checked by
+    :func:`is_balanced`).
+    """
+    iters = 0
+    limit = max_iterations if max_iterations is not None else tree.max_level + 2
+    while True:
+        oc = tree.octants
+        n = len(oc)
+        flags = np.zeros(n, dtype=bool)
+        lv = oc.level.astype(np.int16)
+        size = oc.size
+        anchors = (oc.x, oc.y, oc.z)
+        for d in DIRECTIONS:
+            px = _probe_coords(anchors[0], size, int(d[0]))
+            py = _probe_coords(anchors[1], size, int(d[1]))
+            pz = _probe_coords(anchors[2], size, int(d[2]))
+            idx = tree.locate_checked(px, py, pz)
+            valid = idx >= 0
+            if not np.any(valid):
+                continue
+            nb = idx[valid]
+            viol = tree.levels[nb].astype(np.int16) < (lv[valid] - 1)
+            if np.any(viol):
+                flags[nb[viol]] = True
+        if not np.any(flags):
+            return tree
+        tree = tree.refine(flags)
+        iters += 1
+        if iters > limit:
+            raise RuntimeError("2:1 balance did not converge")
+
+
+def is_balanced(tree: LinearOctree) -> bool:
+    """Check the 26-neighbourhood 2:1 constraint on a complete octree."""
+    oc = tree.octants
+    lv = oc.level.astype(np.int16)
+    size = oc.size
+    anchors = (oc.x, oc.y, oc.z)
+    for d in DIRECTIONS:
+        px = _probe_coords(anchors[0], size, int(d[0]))
+        py = _probe_coords(anchors[1], size, int(d[1]))
+        pz = _probe_coords(anchors[2], size, int(d[2]))
+        idx = tree.locate_checked(px, py, pz)
+        valid = idx >= 0
+        if not np.any(valid):
+            continue
+        if np.any(tree.levels[idx[valid]].astype(np.int16) < lv[valid] - 1):
+            return False
+    return True

@@ -1,0 +1,54 @@
+"""Mapping between the integer octree lattice and physical coordinates.
+
+The computational domain is a cube ``[xmin, xmax]^3`` (numerical-relativity
+runs in the paper use a large cube, e.g. ``[-400M, 400M]^3``, so that the
+outer boundary is causally disconnected from the wave-extraction zone for
+the duration of the run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .keys import LATTICE
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A cubic physical domain mapped onto the octree lattice."""
+
+    xmin: float = -50.0
+    xmax: float = 50.0
+
+    def __post_init__(self) -> None:
+        if not self.xmax > self.xmin:
+            raise ValueError("domain must have positive extent")
+
+    @property
+    def extent(self) -> float:
+        """Physical edge length of the cube."""
+        return self.xmax - self.xmin
+
+    @property
+    def lattice_h(self) -> float:
+        """Physical size of one finest-level lattice cell."""
+        return self.extent / float(LATTICE)
+
+    def to_physical(self, u: np.ndarray) -> np.ndarray:
+        """Lattice coordinates (possibly fractional) -> physical."""
+        return self.xmin + np.asarray(u, dtype=np.float64) * self.lattice_h
+
+    def to_lattice(self, x: np.ndarray) -> np.ndarray:
+        """Physical coordinates -> fractional lattice coordinates."""
+        return (np.asarray(x, dtype=np.float64) - self.xmin) / self.lattice_h
+
+    def octant_dx(self, level: np.ndarray | int, points_per_side: int) -> np.ndarray:
+        """Physical grid spacing inside a level-``l`` octant with ``r`` points.
+
+        Octant blocks are vertex-centred with ``r`` points spanning the
+        octant, hence ``r - 1`` intervals (paper §III-C uses r = 7).
+        """
+        size_phys = self.extent / (2.0 ** np.asarray(level, dtype=np.float64))
+        return size_phys / (points_per_side - 1)

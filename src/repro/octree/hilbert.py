@@ -1,0 +1,76 @@
+"""Hilbert space-filling curve ordering.
+
+Dendro's partitioner supports Hilbert ordering in addition to Morton
+(paper ref. [48], "machine and application aware partitioning"): the
+Hilbert curve has no long-distance jumps, so equal-length cuts have
+smaller surface area (fewer ghosts).  Implemented with Skilling's
+transpose algorithm, vectorised over NumPy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .keys import MAX_DEPTH
+
+
+def _axes_to_transpose(x: np.ndarray, y: np.ndarray, z: np.ndarray,
+                       bits: int) -> list[np.ndarray]:
+    """Skilling's AxesToTranspose, vectorised (n=3 dimensions)."""
+    X = [
+        x.astype(np.uint64).copy(),
+        y.astype(np.uint64).copy(),
+        z.astype(np.uint64).copy(),
+    ]
+    M = np.uint64(1) << np.uint64(bits - 1)
+    # inverse undo excess work
+    Q = M
+    while Q > np.uint64(1):
+        P = Q - np.uint64(1)
+        for i in range(3):
+            hit = (X[i] & Q) != 0
+            # if bit set: invert low bits of X[0]; else: exchange low bits
+            X0_inv = X[0] ^ P
+            t = (X[0] ^ X[i]) & P
+            X0_swap = X[0] ^ t
+            Xi_swap = X[i] ^ t
+            X[0] = np.where(hit, X0_inv, X0_swap)
+            if i != 0:
+                X[i] = np.where(hit, X[i], Xi_swap)
+        Q >>= np.uint64(1)
+    # Gray encode
+    for i in range(1, 3):
+        X[i] ^= X[i - 1]
+    t = np.zeros_like(X[0])
+    Q = M
+    while Q > np.uint64(1):
+        hit = (X[2] & Q) != 0
+        t = np.where(hit, t ^ (Q - np.uint64(1)), t)
+        Q >>= np.uint64(1)
+    for i in range(3):
+        X[i] ^= t
+    return X
+
+
+def hilbert_key(x: np.ndarray, y: np.ndarray, z: np.ndarray,
+                bits: int = MAX_DEPTH) -> np.ndarray:
+    """Hilbert index of lattice points (64-bit for bits <= 21).
+
+    The transpose form is interleaved MSB-first with axis 0 highest,
+    giving a scalar key whose sort order walks the Hilbert curve.
+    """
+    X = _axes_to_transpose(np.asarray(x), np.asarray(y), np.asarray(z), bits)
+    key = np.zeros_like(X[0])
+    for b in range(bits - 1, -1, -1):
+        for i in range(3):
+            key = (key << np.uint64(1)) | ((X[i] >> np.uint64(b)) & np.uint64(1))
+    return key
+
+
+def hilbert_order(tree) -> np.ndarray:
+    """Permutation of a tree's leaves into Hilbert order (by octant
+    centres, so that differently sized leaves interleave correctly)."""
+    centers = tree.octants.centers()
+    c = np.clip(centers, 0, None).astype(np.uint64)
+    keys = hilbert_key(c[:, 0], c[:, 1], c[:, 2])
+    return np.argsort(keys, kind="stable")

@@ -1,0 +1,87 @@
+"""Morton (Z-order) keys for linear octrees.
+
+Octants live on an integer lattice: the unit cube is divided into
+``2**MAX_DEPTH`` cells per dimension, and an octant at refinement level
+``l`` has an *anchor* (its minimum corner) whose coordinates are multiples
+of ``2**(MAX_DEPTH - l)``.  The Morton key interleaves the bits of the
+anchor coordinates; because the key of an octant is a prefix of the keys
+of all its descendants, sorting leaves by anchor key yields the
+depth-first (space-filling-curve) traversal order used for partitioning
+(paper §III-B, refs. [47], [48]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Maximum refinement depth supported by the integer lattice.  21 bits per
+#: dimension fit into a 64-bit key (63 bits used).
+MAX_DEPTH = 21
+
+#: Side length of the lattice (number of finest-level cells per dimension).
+LATTICE = np.uint64(1) << np.uint64(MAX_DEPTH)
+
+_M1 = np.uint64(0x1249249249249249)
+_M2 = np.uint64(0x10C30C30C30C30C3)
+_M3 = np.uint64(0x100F00F00F00F00F)
+_M4 = np.uint64(0x001F0000FF0000FF)
+_M5 = np.uint64(0x001F00000000FFFF)
+_M6 = np.uint64(0x00000000001FFFFF)
+
+
+def _spread(x: np.ndarray) -> np.ndarray:
+    """Spread the low 21 bits of each entry so they occupy every 3rd bit."""
+    x = x.astype(np.uint64) & _M6
+    x = (x | (x << np.uint64(32))) & _M5
+    x = (x | (x << np.uint64(16))) & _M4
+    x = (x | (x << np.uint64(8))) & _M3
+    x = (x | (x << np.uint64(4))) & _M2
+    x = (x | (x << np.uint64(2))) & _M1
+    return x
+
+
+def _compact(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_spread`."""
+    x = x.astype(np.uint64) & _M1
+    x = (x | (x >> np.uint64(2))) & _M2
+    x = (x | (x >> np.uint64(4))) & _M3
+    x = (x | (x >> np.uint64(8))) & _M4
+    x = (x | (x >> np.uint64(16))) & _M5
+    x = (x | (x >> np.uint64(32))) & _M6
+    return x
+
+
+def morton_encode(x: np.ndarray, y: np.ndarray, z: np.ndarray) -> np.ndarray:
+    """Interleave three coordinate arrays into Morton keys.
+
+    Coordinates are in finest-level lattice units, ``0 <= c < LATTICE``.
+    Bit order is (z, y, x) from most to least significant within each
+    triple, matching the conventional octree child numbering
+    ``child = 4*cz + 2*cy + cx``.
+    """
+    return (
+        _spread(np.asarray(x))
+        | (_spread(np.asarray(y)) << np.uint64(1))
+        | (_spread(np.asarray(z)) << np.uint64(2))
+    )
+
+
+def morton_decode(key: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Recover (x, y, z) lattice coordinates from Morton keys."""
+    key = np.asarray(key, dtype=np.uint64)
+    return (
+        _compact(key),
+        _compact(key >> np.uint64(1)),
+        _compact(key >> np.uint64(2)),
+    )
+
+
+def octant_size(level: np.ndarray | int) -> np.ndarray:
+    """Edge length of a level-``l`` octant in lattice units."""
+    return np.uint64(1) << (np.uint64(MAX_DEPTH) - np.asarray(level, dtype=np.uint64))
+
+
+def key_range_size(level: np.ndarray | int) -> np.ndarray:
+    """Number of finest-level Morton codes covered by a level-``l`` octant."""
+    shift = np.uint64(3) * (np.uint64(MAX_DEPTH) - np.asarray(level, dtype=np.uint64))
+    return np.uint64(1) << shift

@@ -1,0 +1,135 @@
+"""Neighbour maps on balanced linear octrees.
+
+Produces the octant-to-neighbour adjacency used to build the O2O
+(octant-to-face-neighbours) and O2P (octant-to-neighbouring-patches) maps
+of the paper (§III-C).  On a 2:1-balanced tree every leaf touches at most
+4 leaves across a face, 2 across an edge and 1 across a corner, so probing
+a fixed set of sample points per direction finds the complete adjacency.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from .linear_octree import LinearOctree
+
+_DIRS = [d for d in itertools.product((-1, 0, 1), repeat=3) if d != (0, 0, 0)]
+
+
+def _component_samples(anchor: np.ndarray, size: np.ndarray, d: int) -> list[np.ndarray]:
+    """Probe coordinates along one axis for direction component ``d``.
+
+    For ``d = 0`` two interior samples are returned (at the 1/4 and 3/4
+    positions) so that both halves of a split (finer) neighbour are hit.
+    """
+    a = anchor.astype(np.int64)
+    s = size.astype(np.int64)
+    if d < 0:
+        return [a - 1]
+    if d > 0:
+        return [a + s]
+    return [a + s // 4, a + s // 2 + s // 4]
+
+
+@dataclass
+class Adjacency:
+    """CSR adjacency: neighbours of leaf ``i`` are
+    ``indices[indptr[i]:indptr[i+1]]`` (sorted, excluding ``i`` itself)."""
+
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    def neighbors_of(self, i: int) -> np.ndarray:
+        """Sorted neighbour indices of leaf ``i``."""
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def __len__(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_pairs(self) -> int:
+        """Total adjacency pairs."""
+        return len(self.indices)
+
+
+def build_adjacency(tree: LinearOctree) -> Adjacency:
+    """Full 26-neighbourhood adjacency of a balanced, complete octree."""
+    oc = tree.octants
+    n = len(oc)
+    size = oc.size
+    anchors = (oc.x, oc.y, oc.z)
+    self_idx = np.arange(n, dtype=np.int64)
+
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    for d in _DIRS:
+        xs = _component_samples(anchors[0], size, d[0])
+        ys = _component_samples(anchors[1], size, d[1])
+        zs = _component_samples(anchors[2], size, d[2])
+        for px in xs:
+            for py in ys:
+                for pz in zs:
+                    idx = tree.locate_checked(px, py, pz)
+                    valid = (idx >= 0) & (idx != self_idx)
+                    if np.any(valid):
+                        src_parts.append(self_idx[valid])
+                        dst_parts.append(idx[valid])
+
+    if src_parts:
+        src = np.concatenate(src_parts)
+        dst = np.concatenate(dst_parts)
+        # unique (src, dst) pairs, grouped by src
+        pair = src * np.int64(n) + dst
+        pair = np.unique(pair)
+        src = pair // n
+        dst = pair % n
+    else:
+        src = np.zeros(0, dtype=np.int64)
+        dst = np.zeros(0, dtype=np.int64)
+
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(indptr, src + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return Adjacency(indptr=indptr, indices=dst)
+
+
+def face_neighbors(tree: LinearOctree) -> Adjacency:
+    """O2O map: neighbours across faces only (subset of the adjacency)."""
+    oc = tree.octants
+    n = len(oc)
+    size = oc.size
+    anchors = (oc.x, oc.y, oc.z)
+    self_idx = np.arange(n, dtype=np.int64)
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    for axis in range(3):
+        for sgn in (-1, 1):
+            d = [0, 0, 0]
+            d[axis] = sgn
+            xs = _component_samples(anchors[0], size, d[0])
+            ys = _component_samples(anchors[1], size, d[1])
+            zs = _component_samples(anchors[2], size, d[2])
+            for px in xs:
+                for py in ys:
+                    for pz in zs:
+                        idx = tree.locate_checked(px, py, pz)
+                        valid = (idx >= 0) & (idx != self_idx)
+                        if np.any(valid):
+                            src_parts.append(self_idx[valid])
+                            dst_parts.append(idx[valid])
+    if src_parts:
+        src = np.concatenate(src_parts)
+        dst = np.concatenate(dst_parts)
+        pair = np.unique(src * np.int64(n) + dst)
+        src = pair // n
+        dst = pair % n
+    else:
+        src = np.zeros(0, dtype=np.int64)
+        dst = np.zeros(0, dtype=np.int64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(indptr, src + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return Adjacency(indptr=indptr, indices=dst)

@@ -1,0 +1,139 @@
+"""Octant arrays: a struct-of-arrays representation of octree leaves.
+
+An :class:`Octants` instance holds ``n`` octants as parallel NumPy arrays
+(anchor coordinates in lattice units plus a refinement level).  All tree
+operations in :mod:`repro.octree` are vectorised over these arrays; no
+per-octant Python objects are created.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .keys import MAX_DEPTH, morton_encode, octant_size
+
+#: Offsets of the 8 children of an octant, in Morton child order.
+CHILD_OFFSETS = np.array(
+    [[cx, cy, cz] for cz in (0, 1) for cy in (0, 1) for cx in (0, 1)], dtype=np.int64
+)
+# reorder to child = 4*cz + 2*cy + cx ascending
+CHILD_OFFSETS = CHILD_OFFSETS[np.argsort(CHILD_OFFSETS @ np.array([1, 2, 4]))]
+
+
+@dataclass
+class Octants:
+    """A flat collection of octants (not necessarily sorted or unique)."""
+
+    x: np.ndarray
+    y: np.ndarray
+    z: np.ndarray
+    level: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.x = np.ascontiguousarray(self.x, dtype=np.uint64)
+        self.y = np.ascontiguousarray(self.y, dtype=np.uint64)
+        self.z = np.ascontiguousarray(self.z, dtype=np.uint64)
+        self.level = np.ascontiguousarray(self.level, dtype=np.uint8)
+        n = len(self.x)
+        if not (len(self.y) == len(self.z) == len(self.level) == n):
+            raise ValueError("octant component arrays must have equal length")
+
+    # -- basic container protocol ------------------------------------------
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def __getitem__(self, idx) -> "Octants":
+        return Octants(self.x[idx], self.y[idx], self.z[idx], self.level[idx])
+
+    def copy(self) -> "Octants":
+        """Deep copy."""
+        return Octants(self.x.copy(), self.y.copy(), self.z.copy(), self.level.copy())
+
+    @classmethod
+    def empty(cls) -> "Octants":
+        """Zero-length collection."""
+        z = np.zeros(0, dtype=np.uint64)
+        return cls(z, z.copy(), z.copy(), np.zeros(0, dtype=np.uint8))
+
+    @classmethod
+    def root(cls) -> "Octants":
+        """The single root octant."""
+        z = np.zeros(1, dtype=np.uint64)
+        return cls(z, z.copy(), z.copy(), np.zeros(1, dtype=np.uint8))
+
+    @classmethod
+    def single(cls, x: int, y: int, z: int, level: int) -> "Octants":
+        """A one-octant collection."""
+        return cls(
+            np.array([x], dtype=np.uint64),
+            np.array([y], dtype=np.uint64),
+            np.array([z], dtype=np.uint64),
+            np.array([level], dtype=np.uint8),
+        )
+
+    @classmethod
+    def concatenate(cls, parts: list["Octants"]) -> "Octants":
+        """Concatenate several collections."""
+        return cls(
+            np.concatenate([p.x for p in parts]),
+            np.concatenate([p.y for p in parts]),
+            np.concatenate([p.z for p in parts]),
+            np.concatenate([p.level for p in parts]),
+        )
+
+    # -- geometry ----------------------------------------------------------
+    @property
+    def size(self) -> np.ndarray:
+        """Edge length in lattice units."""
+        return octant_size(self.level)
+
+    def keys(self) -> np.ndarray:
+        """Morton key of each octant's anchor (finest-level units)."""
+        return morton_encode(self.x, self.y, self.z)
+
+    def centers(self) -> np.ndarray:
+        """(n, 3) array of octant centers in lattice units (float)."""
+        h = self.size.astype(np.float64) * 0.5
+        return np.stack(
+            [
+                self.x.astype(np.float64) + h,
+                self.y.astype(np.float64) + h,
+                self.z.astype(np.float64) + h,
+            ],
+            axis=1,
+        )
+
+    def children(self) -> "Octants":
+        """All 8 children of every octant, in Morton child order."""
+        if np.any(self.level >= MAX_DEPTH):
+            raise ValueError("cannot refine octants already at MAX_DEPTH")
+        half = (self.size >> np.uint64(1)).astype(np.uint64)
+        n = len(self)
+        cx = np.repeat(self.x, 8) + np.tile(CHILD_OFFSETS[:, 0].astype(np.uint64), n) * np.repeat(half, 8)
+        cy = np.repeat(self.y, 8) + np.tile(CHILD_OFFSETS[:, 1].astype(np.uint64), n) * np.repeat(half, 8)
+        cz = np.repeat(self.z, 8) + np.tile(CHILD_OFFSETS[:, 2].astype(np.uint64), n) * np.repeat(half, 8)
+        cl = np.repeat(self.level.astype(np.uint8) + 1, 8)
+        return Octants(cx, cy, cz, cl)
+
+    def parents(self) -> "Octants":
+        """Parent of each octant (level-0 octants raise)."""
+        if np.any(self.level == 0):
+            raise ValueError("root octant has no parent")
+        psize = octant_size(self.level.astype(np.int64) - 1)
+        mask = ~(psize - np.uint64(1))
+        return Octants(self.x & mask, self.y & mask, self.z & mask, self.level - 1)
+
+    def child_index(self) -> np.ndarray:
+        """Which child (0..7) each octant is of its parent."""
+        h = self.size
+        cx = ((self.x // h) & np.uint64(1)).astype(np.int64)
+        cy = ((self.y // h) & np.uint64(1)).astype(np.int64)
+        cz = ((self.z // h) & np.uint64(1)).astype(np.int64)
+        return cx + 2 * cy + 4 * cz
+
+    def volumes(self) -> np.ndarray:
+        """Octant volumes in lattice units."""
+        s = self.size.astype(np.float64)
+        return s * s * s

@@ -1,0 +1,156 @@
+"""Space-filling-curve partitioning of linear octrees.
+
+Because leaves are stored in Morton (SFC) order, partitioning a tree
+across ``p`` ranks reduces to cutting the sorted leaf array into ``p``
+contiguous, (weighted-)equal chunks — the strategy Dendro-GR uses for
+scalability (paper §III-B, ref. [48]).  Ghost (halo) octants of a part are
+the neighbours of its leaves owned by other parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .linear_octree import LinearOctree
+from .neighbors import Adjacency, build_adjacency
+
+
+@dataclass
+class Partition:
+    """A partition of a linear octree across ranks.
+
+    SFC (Morton-order) partitions are contiguous chunks and carry
+    ``offsets``; curve-reordered partitions (e.g. Hilbert) have arbitrary
+    per-leaf owners and ``offsets`` is ``None``.
+    """
+
+    tree: LinearOctree
+    #: rank r owns leaves [offsets[r], offsets[r+1]) (contiguous only)
+    offsets: np.ndarray | None
+    #: per-leaf owner rank
+    owner: np.ndarray = field(init=False)
+    _num_parts: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.offsets is None:
+            raise ValueError("use Partition.from_owner for non-contiguous parts")
+        n = len(self.tree)
+        self._num_parts = len(self.offsets) - 1
+        self.owner = np.zeros(n, dtype=np.int32)
+        for r in range(self.num_parts):
+            self.owner[self.offsets[r] : self.offsets[r + 1]] = r
+
+    @classmethod
+    def from_owner(cls, tree: LinearOctree, owner: np.ndarray,
+                   num_parts: int | None = None) -> "Partition":
+        """Build a partition from an explicit per-leaf owner array."""
+        owner = np.asarray(owner, dtype=np.int32)
+        if owner.shape != (len(tree),):
+            raise ValueError("owner must assign every leaf")
+        p = cls.__new__(cls)
+        p.tree = tree
+        p.offsets = None
+        p.owner = owner
+        p._num_parts = int(num_parts if num_parts is not None else owner.max() + 1)
+        return p
+
+    @property
+    def num_parts(self) -> int:
+        """Number of ranks."""
+        return self._num_parts
+
+    def local_indices(self, rank: int) -> np.ndarray:
+        """Leaf indices owned by a rank."""
+        if self.offsets is not None:
+            return np.arange(
+                self.offsets[rank], self.offsets[rank + 1], dtype=np.int64
+            )
+        return np.flatnonzero(self.owner == rank).astype(np.int64)
+
+    def part_sizes(self) -> np.ndarray:
+        """Leaves per rank."""
+        if self.offsets is not None:
+            return np.diff(self.offsets)
+        return np.bincount(self.owner, minlength=self.num_parts).astype(np.int64)
+
+    def ghost_indices(self, rank: int, adjacency: Adjacency | None = None) -> np.ndarray:
+        """Leaves owned by other ranks that touch this rank's leaves."""
+        if adjacency is None:
+            adjacency = build_adjacency(self.tree)
+        local = self.local_indices(rank)
+        if self.offsets is not None:
+            lo, hi = self.offsets[rank], self.offsets[rank + 1]
+            nbrs = adjacency.indices[adjacency.indptr[lo] : adjacency.indptr[hi]]
+        else:
+            parts = [
+                adjacency.indices[adjacency.indptr[i] : adjacency.indptr[i + 1]]
+                for i in local
+            ]
+            nbrs = np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+        ghosts = np.unique(nbrs)
+        return ghosts[self.owner[ghosts] != rank]
+
+    def boundary_surface(self, adjacency: Adjacency | None = None) -> np.ndarray:
+        """Number of cross-partition adjacent pairs per rank (comm volume)."""
+        if adjacency is None:
+            adjacency = build_adjacency(self.tree)
+        counts = np.zeros(self.num_parts, dtype=np.int64)
+        src = np.repeat(
+            np.arange(len(self.tree)), np.diff(adjacency.indptr)
+        )
+        dst = adjacency.indices
+        cross = self.owner[src] != self.owner[dst]
+        np.add.at(counts, self.owner[src[cross]], 1)
+        return counts
+
+
+def partition_octree(
+    tree: LinearOctree,
+    num_parts: int,
+    weights: np.ndarray | None = None,
+) -> Partition:
+    """Cut the SFC-ordered leaves into ``num_parts`` balanced chunks.
+
+    ``weights`` defaults to uniform (each octant carries r^3 grid points,
+    so octant count is proportional to unknowns).
+    """
+    n = len(tree)
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+    if weights is None:
+        weights = np.ones(n, dtype=np.float64)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (n,):
+            raise ValueError("weights must have one entry per leaf")
+    total = weights.sum()
+    cum = np.cumsum(weights)
+    targets = total * np.arange(1, num_parts) / num_parts
+    cuts = np.searchsorted(cum, targets, side="left") + 1
+    offsets = np.concatenate([[0], cuts, [n]]).astype(np.int64)
+    # monotonicity guard when parts outnumber octants
+    offsets = np.maximum.accumulate(offsets)
+    offsets = np.minimum(offsets, n)
+    return Partition(tree=tree, offsets=offsets)
+
+
+def partition_octree_hilbert(tree: LinearOctree, num_parts: int) -> Partition:
+    """Partition by cutting the leaves in *Hilbert* order.
+
+    The Hilbert curve avoids Morton's long jumps, typically reducing the
+    partition surface (ghost volume) for the same balance — the effect
+    the machine-aware partitioning of the paper's ref. [48] exploits.
+    """
+    from .hilbert import hilbert_order
+
+    if num_parts < 1:
+        raise ValueError("num_parts must be >= 1")
+    n = len(tree)
+    order = hilbert_order(tree)
+    owner = np.zeros(n, dtype=np.int32)
+    bounds = np.linspace(0, n, num_parts + 1).astype(np.int64)
+    for r in range(num_parts):
+        owner[order[bounds[r] : bounds[r + 1]]] = r
+    return Partition.from_owner(tree, owner, num_parts)

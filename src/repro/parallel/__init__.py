@@ -1,0 +1,38 @@
+"""Simulated-MPI substrate: communicator, halo exchange, scaling models."""
+
+from .comm import RankComm, SimComm
+from .distributed import DistributedBSSNSolver, DistributedWaveSolver
+from .halo import HaloPlan, build_halo_plan, distributed_unzip, exchange_ghosts
+from .loadbalance import (
+    octant_work_weights,
+    partition_by_work,
+    predicted_imbalance,
+)
+from .scaling import (
+    DEFAULT_O_A,
+    DEFAULT_SPILL_BPP,
+    ScalingPoint,
+    ScalingStudy,
+    StepCost,
+    efficiencies,
+)
+
+__all__ = [
+    "DEFAULT_O_A",
+    "DistributedBSSNSolver",
+    "DistributedWaveSolver",
+    "DEFAULT_SPILL_BPP",
+    "HaloPlan",
+    "RankComm",
+    "ScalingPoint",
+    "ScalingStudy",
+    "SimComm",
+    "StepCost",
+    "build_halo_plan",
+    "distributed_unzip",
+    "efficiencies",
+    "exchange_ghosts",
+    "octant_work_weights",
+    "partition_by_work",
+    "predicted_imbalance",
+]

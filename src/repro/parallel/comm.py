@@ -1,0 +1,85 @@
+"""An in-process simulated communicator.
+
+Stands in for MPI (mpi4py is not available offline, and the scaling
+studies are driven by the performance model anyway).  Ranks exchange
+NumPy arrays through per-pair queues; all traffic is counted, which is
+what the halo-exchange accounting and the communication model consume.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class SimComm:
+    """A world of ``size`` ranks with counted point-to-point messaging."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("communicator needs at least one rank")
+        self._size = size
+        self._queues: dict[tuple[int, int], deque] = {}
+        self.bytes_sent = np.zeros(size, dtype=np.int64)
+        self.messages_sent = np.zeros(size, dtype=np.int64)
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the world."""
+        return self._size
+
+    def rank(self, r: int) -> "RankComm":
+        """Endpoint for one rank."""
+        if not 0 <= r < self._size:
+            raise ValueError("rank out of range")
+        return RankComm(self, r)
+
+    # internal
+    def _send(self, src: int, dst: int, payload: np.ndarray) -> None:
+        if not 0 <= dst < self._size:
+            raise ValueError("destination rank out of range")
+        payload = np.asarray(payload)
+        self._queues.setdefault((src, dst), deque()).append(payload.copy())
+        self.bytes_sent[src] += payload.nbytes
+        self.messages_sent[src] += 1
+
+    def _recv(self, src: int, dst: int) -> np.ndarray:
+        q = self._queues.get((src, dst))
+        if not q:
+            raise RuntimeError(f"no message from rank {src} to rank {dst}")
+        return q.popleft()
+
+    def total_bytes(self) -> int:
+        """Total bytes sent by all ranks."""
+        return int(self.bytes_sent.sum())
+
+
+@dataclass
+class RankComm:
+    """One rank's endpoint."""
+
+    world: SimComm
+    rank: int
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the world."""
+        return self.world.size
+
+    def send(self, dst: int, payload: np.ndarray) -> None:
+        """Send an array to ``dst`` (copied)."""
+        self.world._send(self.rank, dst, payload)
+
+    def recv(self, src: int) -> np.ndarray:
+        """Receive the next message from ``src``."""
+        return self.world._recv(src, self.rank)
+
+    def allreduce_sum(self, value: float, buffer: list) -> float:
+        """Toy allreduce used by diagnostics: ranks append to a shared
+        buffer; when all have contributed, everyone reads the sum."""
+        buffer.append(value)
+        if len(buffer) == self.size:
+            return float(np.sum(buffer))
+        return float("nan")

@@ -1,0 +1,122 @@
+"""Ghost (halo) exchange between SFC partitions (Algorithm 1, line 6).
+
+Each rank owns a contiguous SFC chunk of octants; before every unzip it
+must receive the blocks of all neighbouring octants owned by other ranks.
+:func:`distributed_unzip` demonstrates the full functional path: exchange
+ghosts through a :class:`SimComm`, then run the scatter restricted to the
+rank's own patches — and must agree exactly with the single-address-space
+unzip (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh import Mesh
+from repro.octree import Partition, build_adjacency
+from .comm import SimComm
+
+
+@dataclass
+class HaloPlan:
+    """Per-rank send/recv lists of octant indices."""
+
+    partition: Partition
+    #: send_lists[src][dst] -> octant indices owned by src needed by dst
+    send_lists: list[dict[int, np.ndarray]]
+    #: ghost octants each rank receives (sorted)
+    ghost_lists: list[np.ndarray]
+
+    @property
+    def num_ranks(self) -> int:
+        """Number of ranks in the partition."""
+        return self.partition.num_parts
+
+    def bytes_per_exchange(self, r: int = 7, dof: int = 24) -> np.ndarray:
+        """Bytes each rank sends in one halo exchange."""
+        out = np.zeros(self.num_ranks, dtype=np.int64)
+        for src, dsts in enumerate(self.send_lists):
+            for _, idx in dsts.items():
+                out[src] += len(idx) * dof * r**3 * 8
+        return out
+
+
+def build_halo_plan(mesh: Mesh, partition: Partition) -> HaloPlan:
+    """Per-rank send/recv octant lists for one partitioned mesh."""
+    adj = mesh.adjacency
+    send_lists: list[dict[int, np.ndarray]] = [dict() for _ in range(partition.num_parts)]
+    ghost_lists: list[np.ndarray] = []
+    for rank in range(partition.num_parts):
+        ghosts = partition.ghost_indices(rank, adj)
+        ghost_lists.append(ghosts)
+        owners = partition.owner[ghosts]
+        for src in np.unique(owners):
+            send_lists[int(src)][rank] = ghosts[owners == src]
+    return HaloPlan(partition=partition, send_lists=send_lists, ghost_lists=ghost_lists)
+
+
+def exchange_ghosts(
+    plan: HaloPlan, local_fields: list[np.ndarray], comm: SimComm, dof: int
+) -> list[dict[int, np.ndarray]]:
+    """Run one halo exchange.
+
+    ``local_fields[r]`` holds rank r's owned blocks, shape
+    ``(dof, n_local, ...)`` ordered like its SFC chunk.  Returns, per
+    rank, a map from global octant index to the received ghost block.
+    """
+    part = plan.partition
+    # post sends
+    for src in range(plan.num_ranks):
+        lo = part.offsets[src]
+        ep = comm.rank(src)
+        for dst, idx in plan.send_lists[src].items():
+            payload = local_fields[src][:, idx - lo]
+            ep.send(dst, payload)
+    # receive
+    ghosts: list[dict[int, np.ndarray]] = [dict() for _ in range(plan.num_ranks)]
+    for src in range(plan.num_ranks):
+        for dst, idx in plan.send_lists[src].items():
+            blocks = comm.rank(dst).recv(src)
+            for j, g in enumerate(idx):
+                ghosts[dst][int(g)] = blocks[:, j]
+    return ghosts
+
+
+def distributed_unzip(
+    mesh: Mesh, partition: Partition, u: np.ndarray, comm: SimComm | None = None
+) -> np.ndarray:
+    """Functional multi-rank unzip: each rank sees only its own blocks
+    plus exchanged ghosts, fills its own patches, and the results are
+    concatenated back in SFC order.
+
+    Agrees exactly with ``mesh.unzip(u)`` (the claim behind halo
+    exchange correctness); used by tests and the scaling demos.
+    """
+    dof = u.shape[0] if u.ndim == 5 else 1
+    uu = u if u.ndim == 5 else u[None]
+    nranks = partition.num_parts
+    if comm is None:
+        comm = SimComm(nranks)
+    plan = build_halo_plan(mesh, partition)
+    part = partition
+
+    local_fields = [
+        uu[:, part.offsets[r] : part.offsets[r + 1]] for r in range(nranks)
+    ]
+    ghosts = exchange_ghosts(plan, local_fields, comm, dof)
+
+    # each rank assembles a rank-view of the global field (own + ghosts
+    # only) and runs the scatter; writes to non-owned patches are ignored
+    n = mesh.num_octants
+    out = np.zeros((dof, n, mesh.P, mesh.P, mesh.P))
+    for rank in range(nranks):
+        view = np.zeros_like(uu)
+        lo, hi = part.offsets[rank], part.offsets[rank + 1]
+        view[:, lo:hi] = local_fields[rank]
+        for g, block in ghosts[rank].items():
+            view[:, g] = block
+        patches = mesh.unzip(view)
+        out[:, lo:hi] = patches[:, lo:hi]
+    return out if u.ndim == 5 else out[0]

@@ -1,0 +1,17 @@
+"""Time evolution drivers (Algorithm 1): BSSN and linear-wave solvers."""
+
+from .bssn_solver import BSSNSolver, EvolutionRecord, enforce_algebraic_constraints
+from .puncture_tracker import PunctureTracker
+from .rk4 import courant_dt, rk4_step
+from .wave_solver import GaussianSource, WaveSolver
+
+__all__ = [
+    "BSSNSolver",
+    "EvolutionRecord",
+    "GaussianSource",
+    "PunctureTracker",
+    "WaveSolver",
+    "courant_dt",
+    "enforce_algebraic_constraints",
+    "rk4_step",
+]

@@ -1,0 +1,47 @@
+"""Explicit Runge–Kutta time integration (paper §III-A: RK4, λ = 0.25)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+#: classic RK4 Butcher tableau
+RK4_A = (0.0, 0.5, 0.5, 1.0)
+RK4_B = (1.0 / 6.0, 1.0 / 3.0, 1.0 / 3.0, 1.0 / 6.0)
+
+
+def rk4_step(
+    rhs: Callable[[np.ndarray, float], np.ndarray],
+    u: np.ndarray,
+    t: float,
+    dt: float,
+    *,
+    post_stage: Callable[[np.ndarray], None] | None = None,
+) -> np.ndarray:
+    """One classic RK4 step; ``post_stage`` (e.g. algebraic-constraint
+    enforcement) is applied to every intermediate stage state and to the
+    result."""
+    k1 = rhs(u, t)
+    u2 = u + (0.5 * dt) * k1
+    if post_stage is not None:
+        post_stage(u2)
+    k2 = rhs(u2, t + 0.5 * dt)
+    u3 = u + (0.5 * dt) * k2
+    if post_stage is not None:
+        post_stage(u3)
+    k3 = rhs(u3, t + 0.5 * dt)
+    u4 = u + dt * k3
+    if post_stage is not None:
+        post_stage(u4)
+    k4 = rhs(u4, t + dt)
+    out = u + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+    if post_stage is not None:
+        post_stage(out)
+    return out
+
+
+def courant_dt(min_dx: float, courant: float = 0.25) -> float:
+    """Global timestep from the finest grid spacing (global timestepping,
+    paper §III-A)."""
+    return courant * min_dx

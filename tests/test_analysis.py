@@ -1,0 +1,113 @@
+"""Tests for the Table I / Table IV estimators."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE1,
+    PAPER_TABLE4,
+    estimate_octants,
+    estimate_production_run,
+    table1,
+    table4,
+)
+
+
+class TestTable1:
+    def test_rows(self):
+        rows = table1()
+        assert [r.q for r in rows] == [1, 4, 16, 64, 256, 512]
+        # finest resolution shrinks with q, coarse saturates near 1.65e-2
+        dxs = [r.dx_small for r in rows]
+        assert all(a > b for a, b in zip(dxs, dxs[1:]))
+        assert rows[-1].dx_large == pytest.approx(1.65e-2, rel=0.02)
+
+    def test_timestep_blowup(self):
+        """The punchline of Table I: q=512 needs ~2e4 x more steps than
+        q=1."""
+        rows = {r.q: r for r in table1()}
+        assert rows[512].timesteps / rows[1].timesteps > 1e4
+
+
+class TestTable4:
+    def test_octant_estimate_monotone_in_depth(self):
+        assert estimate_octants(1e-3) >= estimate_octants(1e-2)
+        assert estimate_octants(1.62e-2) > 1e5  # production scale
+
+    def test_walltime_shape(self):
+        """Shape claims: tens-to-hundreds of hours, monotone in q, and
+        q=8 by far the most expensive (paper: 87/96/129/388 h)."""
+        rows = table4()
+        hours = [est.wall_hours for _, est in rows]
+        assert all(a <= b * 1.05 for a, b in zip(hours, hours[1:]))
+        assert 5.0 < hours[0] < 400.0
+        assert hours[3] > 2.0 * hours[1]
+        # within ~4x of the paper's absolute numbers
+        for paper, est in rows:
+            assert paper["hours"] / 4.0 < est.wall_hours < paper["hours"] * 4.0
+
+    def test_timesteps_near_paper(self):
+        for paper, est in table4():
+            assert est.timesteps == pytest.approx(paper["steps"], rel=0.45)
+
+    def test_estimate_production_run_fields(self):
+        est = estimate_production_run(1.0, 1.62e-2, 4, 748.0)
+        assert est.gpus == 4
+        assert est.step_seconds > 0
+        assert est.octants > 0
+
+
+class TestConvergenceTools:
+    def _solutions(self, p=4.0, r=2.0):
+        """Manufactured solutions u_h = u + C h^p on three grids."""
+        rng = np.random.default_rng(0)
+        u = rng.normal(size=50)
+        C = rng.normal(size=50)
+        h = 1.0
+        return (
+            u + C * h**p,
+            u + C * (h / r) ** p,
+            u + C * (h / r**2) ** p,
+            u,
+        )
+
+    def test_observed_order(self):
+        from repro.analysis import observed_order
+
+        c, m, f, _ = self._solutions(p=4.0)
+        assert observed_order(c, m, f) == pytest.approx(4.0, abs=1e-10)
+        c, m, f, _ = self._solutions(p=6.0)
+        assert observed_order(c, m, f) == pytest.approx(6.0, abs=1e-8)
+
+    def test_richardson_recovers_continuum(self):
+        from repro.analysis import richardson_extrapolate
+
+        c, m, f, u = self._solutions(p=4.0)
+        ex = richardson_extrapolate(m, f, 4.0)
+        assert np.allclose(ex, u, atol=1e-12)
+
+    def test_analyze_triplet(self):
+        from repro.analysis import analyze_triplet
+
+        c, m, f, u = self._solutions(p=4.0)
+        res = analyze_triplet(c, m, f)
+        assert res.order == pytest.approx(4.0, abs=1e-8)
+        assert res.error_fine < res.error_coarse
+        assert np.allclose(res.extrapolated, u, atol=1e-10)
+
+    def test_scaled_overlap_is_unity(self):
+        from repro.analysis import scaled_difference_overlap
+
+        c, m, f, _ = self._solutions(p=6.0)
+        assert scaled_difference_overlap(c, m, f, 6.0) == pytest.approx(
+            1.0, abs=1e-8
+        )
+
+    def test_degenerate_inputs_rejected(self):
+        from repro.analysis import observed_order, scaled_difference_overlap
+
+        u = np.ones(5)
+        with pytest.raises(ValueError):
+            observed_order(u + 1, u, u)
+        with pytest.raises(ValueError):
+            scaled_difference_overlap(u, u, u + 1, 4.0)

@@ -1,0 +1,140 @@
+"""Direct tests for the shared tensor-algebra helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bssn.geometry import (
+    christoffel_conformal,
+    christoffel_full,
+    det_sym,
+    inverse_sym,
+    raise_one,
+    raise_two,
+    sym3x3,
+    trace_free,
+)
+
+
+def _random_spd(rng, n=5):
+    """Random symmetric positive-definite 3x3 fields as [i][j] arrays."""
+    A = rng.normal(size=(n, 3, 3))
+    M = np.einsum("nij,nkj->nik", A, A) + 3.0 * np.eye(3)
+    return [[M[:, i, j] for j in range(3)] for i in range(3)]
+
+
+class TestLinearAlgebra:
+    def test_det_identity(self):
+        eye = [[np.full(4, 1.0 if i == j else 0.0) for j in range(3)] for i in range(3)]
+        assert np.allclose(det_sym(eye), 1.0)
+
+    def test_inverse_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        g = _random_spd(rng)
+        gu = inverse_sym(g)
+        G = np.stack([np.stack([g[i][j] for j in range(3)]) for i in range(3)])
+        GU = np.stack([np.stack([gu[i][j] for j in range(3)]) for i in range(3)])
+        for n in range(G.shape[2]):
+            assert np.allclose(GU[:, :, n], np.linalg.inv(G[:, :, n]), atol=1e-10)
+
+    def test_inverse_symmetric(self):
+        rng = np.random.default_rng(1)
+        gu = inverse_sym(_random_spd(rng))
+        for i in range(3):
+            for j in range(3):
+                assert gu[i][j] is gu[j][i] or np.allclose(gu[i][j], gu[j][i])
+
+    def test_trace_free_kills_trace(self):
+        rng = np.random.default_rng(2)
+        g = _random_spd(rng)
+        gu = inverse_sym(g)
+        X = _random_spd(rng)
+        Xtf = trace_free(X, g, gu)
+        tr = sum(gu[i][j] * Xtf[i][j] for i in range(3) for j in range(3))
+        assert np.abs(tr).max() < 1e-10
+
+    def test_raise_consistency(self):
+        """At^{ij} == gt^{jk} (At^i_k)."""
+        rng = np.random.default_rng(3)
+        g = _random_spd(rng)
+        gu = inverse_sym(g)
+        At = _random_spd(rng)
+        mixed = raise_one(At, gu)
+        up = raise_two(At, gu)
+        for i in range(3):
+            for j in range(3):
+                expect = sum(gu[j][k] * mixed[i][k] for k in range(3))
+                assert np.allclose(up[i][j], expect, atol=1e-10)
+
+
+class TestChristoffels:
+    def test_flat_metric_zero(self):
+        n = 4
+        gt = [[np.full(n, 1.0 if i == j else 0.0) for j in range(3)] for i in range(3)]
+        gtu = inverse_sym(gt)
+        zero = np.zeros(n)
+        dgt = [[[zero for _ in range(3)] for _ in range(3)] for _ in range(3)]
+        C2, C1 = christoffel_conformal(gt, gtu, dgt)
+        for k in range(3):
+            for i in range(3):
+                for j in range(3):
+                    assert np.all(C2[k][i][j] == 0.0)
+                    assert np.all(C1[k][i][j] == 0.0)
+
+    def test_conformal_correction_conformally_flat(self):
+        """For γ̃ = δ the full Christoffel reduces to the pure χ terms
+        (Eq. 13), verified against the closed form."""
+        n = 6
+        rng = np.random.default_rng(4)
+        gt = [[np.full(n, 1.0 if i == j else 0.0) for j in range(3)] for i in range(3)]
+        gtu = inverse_sym(gt)
+        zero = np.zeros(n)
+        dgt = [[[zero] * 3 for _ in range(3)] for _ in range(3)]
+        C2, _ = christoffel_conformal(gt, gtu, dgt)
+        chi = rng.uniform(0.5, 1.5, n)
+        dchi = [rng.normal(size=n) for _ in range(3)]
+        C2f = christoffel_full(C2, gt, gtu, chi, dchi)
+        for k in range(3):
+            for i in range(3):
+                for j in range(3):
+                    expect = -(
+                        (k == i) * dchi[j]
+                        + (k == j) * dchi[i]
+                        - (i == j) * dchi[k]
+                    ) / (2.0 * chi)
+                    assert np.allclose(C2f[k][i][j], expect, atol=1e-12)
+
+    def test_symmetry_in_lower_indices(self):
+        rng = np.random.default_rng(5)
+        gt = _random_spd(rng)
+        gtu = inverse_sym(gt)
+        n = len(gt[0][0])
+        dgt = [
+            [[rng.normal(size=n) for _ in range(3)] for _ in range(3)]
+            for _ in range(3)
+        ]
+        # symmetrise dgt in its tensor indices
+        for d in range(3):
+            for i in range(3):
+                for j in range(i + 1, 3):
+                    dgt[d][j][i] = dgt[d][i][j]
+        C2, C1 = christoffel_conformal(gt, gtu, dgt)
+        for k in range(3):
+            for i in range(3):
+                for j in range(3):
+                    assert np.allclose(C2[k][i][j], C2[k][j][i])
+
+
+@given(seed=st.integers(0, 10**6))
+@settings(max_examples=20, deadline=None)
+def test_inverse_roundtrip_property(seed):
+    rng = np.random.default_rng(seed)
+    g = _random_spd(rng, n=3)
+    gu = inverse_sym(g)
+    # g · gu == identity
+    for i in range(3):
+        for j in range(3):
+            s = sum(g[i][k] * gu[k][j] for k in range(3))
+            expect = 1.0 if i == j else 0.0
+            assert np.allclose(s, expect, atol=1e-9)

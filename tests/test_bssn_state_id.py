@@ -1,0 +1,124 @@
+"""Tests for the BSSN state layout and puncture initial data."""
+
+import numpy as np
+import pytest
+
+from repro.bssn import (
+    Puncture,
+    binary_punctures,
+    bowen_york_Aij,
+    conformal_factor,
+    flat_metric_state,
+    puncture_state,
+)
+from repro.bssn import state as S
+
+
+class TestStateLayout:
+    def test_24_variables(self):
+        assert S.NUM_VARS == 24
+        assert len(S.VAR_NAMES) == 24
+        assert len(set(S.VAR_NAMES)) == 24
+
+    def test_derivative_budget_matches_paper(self):
+        """§IV-B: 72 first + 66 second + 72 KO = 210 derivatives."""
+        assert S.NUM_FIRST_DERIVS == 72
+        assert S.NUM_SECOND_DERIVS == 66
+        assert S.NUM_KO_DERIVS == 72
+        assert S.NUM_DERIVS == 210
+
+    def test_sym_idx(self):
+        assert S.SYM_IDX[0, 0] == 0
+        assert S.SYM_IDX[1, 0] == S.SYM_IDX[0, 1]
+        assert S.SYM_IDX[2, 2] == 5
+        # all six slots reachable
+        assert set(S.SYM_IDX.ravel().tolist()) == {0, 1, 2, 3, 4, 5}
+
+    def test_flat_state(self):
+        u = flat_metric_state((4,))
+        assert np.all(u[S.ALPHA] == 1)
+        assert np.all(u[S.CHI] == 1)
+        assert np.all(u[S.GT11] == 1)
+        assert np.all(u[S.GT12] == 0)
+        assert np.all(u[S.K] == 0)
+
+
+class TestPuncture:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Puncture(-1.0, [0, 0, 0])
+
+    def test_binary_masses(self):
+        p = binary_punctures(mass_ratio=4.0, separation=8.0)
+        assert np.isclose(p[0].mass + p[1].mass, 1.0)
+        assert np.isclose(p[0].mass / p[1].mass, 4.0)
+        # COM at origin
+        com = p[0].mass * p[0].position + p[1].mass * p[1].position
+        assert np.allclose(com, 0.0)
+        # opposite tangential momenta (quasi-circular)
+        assert np.allclose(p[0].momentum + p[1].momentum, 0.0)
+        assert p[0].momentum[1] != 0.0
+
+    def test_conformal_factor_asymptotics(self):
+        pts = [Puncture(1.0, [0, 0, 0])]
+        far = np.array([[1e6, 0.0, 0.0]])
+        psi = conformal_factor(pts, far)
+        assert np.isclose(psi[0], 1.0, atol=1e-5)
+        near = np.array([[1.0, 0.0, 0.0]])
+        assert np.isclose(conformal_factor(pts, near)[0], 1.5)
+
+    def test_adm_mass_from_monopole(self):
+        """ψ ≈ 1 + M_ADM/(2r) at large r for Brill–Lindquist data."""
+        pts = binary_punctures(mass_ratio=2.0, quasi_circular=False)
+        r = 500.0
+        psi = conformal_factor(pts, np.array([[r, 0.0, 0.0]]))[0]
+        m_adm = 2.0 * r * (psi - 1.0)
+        assert np.isclose(m_adm, 1.0, rtol=2e-2)
+
+
+class TestBowenYork:
+    def test_zero_momentum_zero_A(self):
+        pts = [Puncture(1.0, [0, 0, 0])]
+        c = np.random.default_rng(0).uniform(-5, 5, size=(10, 3))
+        A = bowen_york_Aij(pts, c)
+        assert np.allclose(A, 0.0)
+
+    def test_trace_free(self):
+        pts = [Puncture(1.0, [0, 0, 0], momentum=[0.1, 0.2, -0.05],
+                        spin=[0.0, 0.0, 0.3])]
+        c = np.random.default_rng(1).uniform(1, 5, size=(20, 3))
+        A = bowen_york_Aij(pts, c)
+        tr = A[..., 0, 0] + A[..., 1, 1] + A[..., 2, 2]
+        assert np.abs(tr).max() < 1e-12
+
+    def test_symmetric(self):
+        pts = [Puncture(1.0, [1, 0, 0], momentum=[0, 0.2, 0])]
+        c = np.random.default_rng(2).uniform(-4, 4, size=(20, 3))
+        A = bowen_york_Aij(pts, c)
+        assert np.allclose(A, np.swapaxes(A, -1, -2))
+
+    def test_falloff(self):
+        """Momentum part falls off as 1/r²."""
+        pts = [Puncture(1.0, [0, 0, 0], momentum=[0, 0.5, 0])]
+        a1 = np.abs(bowen_york_Aij(pts, np.array([[10.0, 3.0, 1.0]]))).max()
+        a2 = np.abs(bowen_york_Aij(pts, np.array([[20.0, 6.0, 2.0]]))).max()
+        assert np.isclose(a1 / a2, 4.0, rtol=0.05)
+
+
+class TestPunctureState:
+    def test_shapes_and_values(self):
+        pts = binary_punctures(mass_ratio=2.0)
+        c = np.random.default_rng(3).uniform(-10, 10, size=(4, 4, 3))
+        u = puncture_state(pts, c)
+        assert u.shape == (24, 4, 4)
+        psi = conformal_factor(pts, c)
+        assert np.allclose(u[S.CHI], psi**-4)
+        assert np.allclose(u[S.ALPHA], psi**-2)
+        assert np.allclose(u[S.GT11], 1.0)
+        assert np.all(u[S.K] == 0.0)
+
+    def test_at_nonzero_with_momentum(self):
+        pts = binary_punctures(mass_ratio=1.0, quasi_circular=True)
+        c = np.array([[2.0, 1.0, 0.5]])
+        u = puncture_state(pts, c)
+        assert np.abs(u[S.AT_SYM, ...]).max() > 0.0

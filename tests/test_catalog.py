@@ -1,0 +1,70 @@
+"""Tests for the waveform catalog builder (paper §I context)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.catalog import (
+    CatalogEntry,
+    WaveformCatalog,
+    build_model_catalog,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return build_model_catalog((1.0, 2.0, 4.0), samples=1024, duration=200.0)
+
+
+class TestBuild:
+    def test_entries(self, catalog):
+        assert len(catalog) == 3
+        assert np.allclose(catalog.mass_ratios, [1.0, 2.0, 4.0])
+        for e in catalog.entries:
+            assert np.isfinite(e.h22).all()
+            assert "remnant_spin" in e.metadata
+
+    def test_entry_lookup(self, catalog):
+        e = catalog.entry(2.0)
+        assert e.mass_ratio == 2.0
+        with pytest.raises(KeyError):
+            catalog.entry(16.0)
+
+    def test_amplitude_decreases_with_q(self, catalog):
+        """Higher mass ratio -> smaller symmetric mass ratio -> weaker
+        (2,2) signal."""
+        peaks = [np.abs(e.h22).max() for e in catalog.entries]
+        assert peaks[0] > peaks[1] > peaks[2]
+
+
+class TestMismatch:
+    def test_matrix_properties(self, catalog):
+        mm = catalog.mismatch_matrix()
+        assert mm.shape == (3, 3)
+        assert np.allclose(np.diag(mm), 0.0)
+        assert np.allclose(mm, mm.T)
+        assert np.all(mm >= 0.0)
+
+    def test_distant_q_larger_mismatch(self, catalog):
+        mm = catalog.mismatch_matrix()
+        assert mm[0, 2] > mm[0, 1] * 0.5  # q=1 vs 4 at least comparable
+        assert mm[0, 2] > 0.0
+
+    def test_coverage_gaps(self, catalog):
+        # with a tiny threshold every adjacent pair is a gap
+        gaps = catalog.coverage_gaps(threshold=1e-9)
+        assert len(gaps) == 2
+        # with a huge threshold none are
+        assert catalog.coverage_gaps(threshold=0.999) == []
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, catalog, tmp_path):
+        paths = catalog.save(tmp_path / "cat")
+        assert len(paths) == 3
+        loaded = WaveformCatalog.load(tmp_path / "cat")
+        assert len(loaded) == 3
+        for q in (1.0, 2.0, 4.0):
+            a = catalog.entry(q)
+            b = loaded.entry(q)
+            assert np.allclose(a.h22, b.h22)
+            assert np.allclose(a.times, b.times)

@@ -1,0 +1,77 @@
+"""Tests for the cache simulator: it must reproduce the finite-cache
+regime change that §III-D's max(1, m ξ) term models."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.memory import (
+    CacheConfig,
+    LRUCache,
+    effective_reuse_factor,
+    repeated_pass_miss_rate,
+    stream_pass_addresses,
+)
+
+SMALL = CacheConfig(size_bytes=64 * 1024, line_bytes=64, ways=8)
+
+
+class TestLRUCache:
+    def test_cold_misses(self):
+        c = LRUCache(SMALL)
+        c.access(np.arange(0, 4096, 64))
+        assert c.misses == 64
+        assert c.hits == 0
+
+    def test_rereference_hits(self):
+        c = LRUCache(SMALL)
+        addrs = np.arange(0, 4096, 64)
+        c.access(addrs)
+        c.access(addrs)
+        assert c.hits == 64
+
+    def test_same_line_coalesced(self):
+        c = LRUCache(SMALL)
+        c.access(np.arange(0, 64, 8))  # 8 accesses, one line
+        assert c.hits + c.misses == 1
+
+    def test_capacity_eviction(self):
+        c = LRUCache(SMALL)
+        lines = SMALL.size_bytes // SMALL.line_bytes
+        addrs = np.arange(0, 4 * lines * SMALL.line_bytes, SMALL.line_bytes)
+        c.access(addrs)
+        c.reset_counters()
+        c.access(addrs)  # working set 4x the cache: thrash
+        assert c.miss_rate > 0.9
+
+    def test_empty_stream(self):
+        c = LRUCache(SMALL)
+        c.access(np.zeros(0, dtype=np.int64))
+        assert c.hits == c.misses == 0
+
+
+class TestFiniteCacheRegime:
+    def test_fits_in_cache_rereads_free(self):
+        """m ξ < 1: later passes hit — memory time ~ m τ_m."""
+        mr = repeated_pass_miss_rate(SMALL.size_bytes // 4, passes=4,
+                                     config=SMALL)
+        assert mr < 0.35  # ~1/4: only the cold pass misses
+
+    def test_exceeds_cache_every_pass_misses(self):
+        """m ξ > 1: LRU streaming thrashes — memory time ~ m τ_m · passes."""
+        mr = repeated_pass_miss_rate(SMALL.size_bytes * 4, passes=4,
+                                     config=SMALL)
+        assert mr > 0.95
+
+    def test_reuse_factor_transitions(self):
+        """The empirical analogue of max(1, m ξ): traffic amplification
+        jumps from ~1 to ~passes across the cache-size boundary."""
+        below = effective_reuse_factor(SMALL.size_bytes // 4, passes=4,
+                                       config=SMALL)
+        above = effective_reuse_factor(SMALL.size_bytes * 4, passes=4,
+                                       config=SMALL)
+        assert below < 1.5
+        assert above > 3.5
+
+    def test_stream_addresses(self):
+        a = stream_pass_addresses(1024, stride=128)
+        assert a[0] == 0 and a[-1] == 896 and len(a) == 8

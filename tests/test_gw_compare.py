@@ -1,0 +1,87 @@
+"""Tests for waveform comparison utilities."""
+
+import numpy as np
+import pytest
+
+from repro.gw import IMRWaveform, align, inner, l2_difference, mismatch, overlap
+
+
+@pytest.fixture()
+def chirp():
+    wf = IMRWaveform(mass_ratio=1.0, t_merge=80.0)
+    t = np.linspace(0.0, 120.0, 2048)
+    return t, wf.h(t)
+
+
+class TestOverlap:
+    def test_self_overlap_is_one(self, chirp):
+        t, h = chirp
+        dt = t[1] - t[0]
+        assert overlap(h, h, dt) == pytest.approx(1.0, abs=1e-9)
+        assert mismatch(h, h, dt) == pytest.approx(0.0, abs=1e-9)
+
+    def test_phase_shift_invariance(self, chirp):
+        """Time/phase-maximised overlap ignores a constant phase."""
+        t, h = chirp
+        dt = t[1] - t[0]
+        assert overlap(h, h * np.exp(0.7j), dt) == pytest.approx(1.0, abs=1e-9)
+
+    def test_time_shift_mostly_recovered(self, chirp):
+        t, h = chirp
+        dt = t[1] - t[0]
+        shifted = np.roll(h, 37)
+        assert overlap(h, shifted, dt) > 0.99
+        # without maximisation the overlap drops
+        plain = overlap(h, shifted, dt, maximize=False)
+        assert plain < overlap(h, shifted, dt) - 1e-3
+
+    def test_different_waveforms_mismatch(self):
+        t = np.linspace(0.0, 120.0, 2048)
+        h1 = IMRWaveform(mass_ratio=1.0, t_merge=80.0).h(t)
+        h2 = IMRWaveform(mass_ratio=8.0, t_merge=50.0).h(t)
+        dt = t[1] - t[0]
+        assert mismatch(h1, h2, dt) > 0.01
+
+    def test_zero_waveform_rejected(self, chirp):
+        t, h = chirp
+        with pytest.raises(ValueError):
+            overlap(h, np.zeros_like(h), t[1] - t[0])
+
+    def test_shape_mismatch_rejected(self, chirp):
+        t, h = chirp
+        with pytest.raises(ValueError):
+            inner(h, h[:-5], t[1] - t[0])
+
+
+class TestAlign:
+    def test_recovers_known_shift(self, chirp):
+        t, h = chirp
+        dt = t[1] - t[0]
+        lag = 25
+        shifted = np.roll(h, lag)
+        recovered, shift = align(t, h, shifted)
+        assert shift == pytest.approx(lag * dt, abs=2 * dt)
+
+    def test_real_waveforms(self, chirp):
+        t, h = chirp
+        aligned, shift = align(t, np.real(h), np.real(np.roll(h, 10)))
+        assert aligned.shape == t.shape
+        assert not np.iscomplexobj(aligned)
+
+
+class TestL2Difference:
+    def test_zero_for_identical(self, chirp):
+        _, h = chirp
+        assert l2_difference(h, h) == 0.0
+
+    def test_scales_with_perturbation(self, chirp):
+        _, h = chirp
+        d1 = l2_difference(h, h * 1.01)
+        d2 = l2_difference(h, h * 1.02)
+        assert d1 == pytest.approx(0.01, rel=1e-6)
+        assert d2 > d1
+
+    def test_zero_reference_rejected(self, chirp):
+        _, h = chirp
+        with pytest.raises(ValueError):
+            l2_difference(np.zeros_like(h), h)

@@ -1,0 +1,203 @@
+"""Tests for the octant-to-patch (unzip) and patch-to-octant (zip) kernels."""
+
+import numpy as np
+import pytest
+
+from repro.octree import LinearOctree, balance, bbh_grid
+from repro.mesh import Mesh
+
+
+def _mesh_bbh(max_level=6, base_level=2):
+    return Mesh(bbh_grid(mass_ratio=2.0, max_level=max_level, base_level=base_level))
+
+
+def _poly(c):
+    x, y, z = c[..., 0], c[..., 1], c[..., 2]
+    return x**3 + 2.0 * y**2 * z - z + 0.5 * x * y
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return _mesh_bbh()
+
+
+@pytest.fixture(scope="module")
+def poly_setup(mesh):
+    u = _poly(mesh.coordinates())
+    expect = _poly(mesh.patch_coordinates())
+    return u, expect
+
+
+class TestScatter:
+    def test_interior_octants_exact_on_poly(self, mesh, poly_setup):
+        u, expect = poly_setup
+        p = mesh.unzip(u)
+        interior = np.ones(mesh.num_octants, dtype=bool)
+        interior[mesh.boundary_octants()] = False
+        scale = np.abs(expect).max()
+        assert np.abs(p[interior] - expect[interior]).max() < 1e-11 * scale
+
+    def test_boundary_extrapolation_close_on_poly(self, mesh, poly_setup):
+        """Degree-4 extrapolation on a cubic is exact up to roundoff
+        amplification in cascaded corners."""
+        u, expect = poly_setup
+        p = mesh.unzip(u)
+        scale = np.abs(expect).max()
+        assert np.abs(p - expect).max() < 1e-7 * scale
+
+    def test_zip_unzip_roundtrip(self, mesh):
+        rng = np.random.default_rng(3)
+        u = rng.normal(size=(mesh.num_octants, 7, 7, 7))
+        assert np.array_equal(mesh.zip(mesh.unzip(u)), u)
+
+    def test_gather_equals_scatter(self, mesh):
+        """Fig. 7's two algorithms are functionally identical."""
+        rng = np.random.default_rng(4)
+        u = rng.normal(size=(mesh.num_octants, 7, 7, 7))
+        assert np.allclose(mesh.unzip(u), mesh.unzip(u, method="gather"),
+                           rtol=0, atol=1e-12)
+
+    def test_multi_dof(self, mesh):
+        rng = np.random.default_rng(5)
+        u = rng.normal(size=(3, mesh.num_octants, 7, 7, 7))
+        p = mesh.unzip(u)
+        assert p.shape == (3, mesh.num_octants, 13, 13, 13)
+        for d in range(3):
+            assert np.allclose(p[d], mesh.unzip(u[d]), atol=1e-14)
+
+    def test_invalid_method(self, mesh):
+        u = mesh.allocate()
+        with pytest.raises(ValueError):
+            mesh.unzip(u, method="bogus")
+
+    def test_shape_validation(self, mesh):
+        with pytest.raises(ValueError):
+            mesh.unzip(np.zeros((5, 7, 7, 7)))
+        with pytest.raises(ValueError):
+            mesh.zip(np.zeros((5, 13, 13, 13)))
+
+
+class TestUniformGrid:
+    def test_same_level_padding_matches_neighbor(self):
+        """On a uniform grid unzip is pure copying: padding equals the
+        neighbour's interior values bitwise.
+
+        The field must be consistent at duplicated shared points (an
+        invariant of the block storage), so it is built from coordinates
+        rather than random per-block data.
+        """
+        mesh = Mesh(LinearOctree.uniform(2))
+        c = mesh.coordinates()
+        u = np.sin(c[..., 0] * 0.3) + np.cos(c[..., 1] * 0.2) * c[..., 2]
+        p = mesh.unzip(u)
+        tree = mesh.tree
+        oc = tree.octants
+        size = oc.size[0]
+        # pick an octant with an -x neighbour
+        i = int(np.flatnonzero(oc.x > 0)[0])
+        jx = int(oc.x[i] - size)
+        nb = int(
+            tree.locate(
+                np.array([jx], dtype=np.uint64), oc.y[i : i + 1], oc.z[i : i + 1]
+            )[0]
+        )
+        # patch x-padding [0:3] of i == neighbour's interior columns 3:6
+        assert np.array_equal(p[i, 3:10, 3:10, 0:3], u[nb, :, :, 3:6])
+        # shared face: interior column 3 of the patch equals own column 0
+        assert np.array_equal(p[i, 3:10, 3:10, 3], u[i, :, :, 0])
+
+    def test_no_prolongations_on_uniform(self):
+        mesh = Mesh(LinearOctree.uniform(2))
+        assert mesh.plan.stats.prolong_blocks_scatter == 0
+        assert mesh.plan.stats.prolong_points == 0
+        assert mesh.plan.stats.inject_points == 0
+
+
+class TestAdaptiveConsistency:
+    def test_smooth_field_small_jump(self):
+        """Unzipping a smooth non-polynomial field: interpolation error is
+        bounded by the truncation order."""
+        mesh = _mesh_bbh(max_level=6, base_level=3)
+        c = mesh.coordinates()
+        u = np.sin(0.2 * c[..., 0]) * np.cos(0.15 * c[..., 1] + 0.1 * c[..., 2])
+        p = mesh.unzip(u)
+        pc = mesh.patch_coordinates()
+        expect = np.sin(0.2 * pc[..., 0]) * np.cos(0.15 * pc[..., 1] + 0.1 * pc[..., 2])
+        interior = np.ones(mesh.num_octants, dtype=bool)
+        interior[mesh.boundary_octants()] = False
+        assert np.abs(p[interior] - expect[interior]).max() < 5e-4
+
+    def test_plan_stats_populated(self, mesh):
+        st = mesh.plan.stats
+        assert st.copy_points > 0
+        assert st.prolong_points > 0
+        assert st.inject_points > 0
+        assert st.prolong_blocks_scatter > 0
+        # gather mode re-interpolates per pair: strictly more prolongations
+        assert st.prolong_pairs_gather > st.prolong_blocks_scatter
+        assert st.interp_flops("gather") > st.interp_flops("scatter")
+
+
+class TestInterpolateToPoints:
+    def test_polynomial_exact(self, mesh):
+        u = _poly(mesh.coordinates())
+        rng = np.random.default_rng(7)
+        pts = rng.uniform(-20, 20, size=(40, 3))
+        vals = mesh.interpolate_to_points(u, pts)
+        expect = _poly(pts)
+        assert np.allclose(vals, expect, rtol=1e-9, atol=1e-8)
+
+    def test_outside_domain_raises(self, mesh):
+        u = mesh.allocate()
+        with pytest.raises(ValueError):
+            mesh.interpolate_to_points(u, np.array([[1e6, 0.0, 0.0]]))
+
+
+class TestCoordinates:
+    def test_spacing_matches_dx(self, mesh):
+        c = mesh.coordinates()
+        got = c[:, 0, 0, 1, 0] - c[:, 0, 0, 0, 0]
+        assert np.allclose(got, mesh.dx)
+
+    def test_patch_coordinates_extend_block(self, mesh):
+        c = mesh.coordinates()
+        pc = mesh.patch_coordinates()
+        assert np.allclose(pc[:, 3:10, 3:10, 3:10], c)
+        assert np.allclose(pc[:, 0, 0, 0, 0], c[:, 0, 0, 0, 0] - 3 * mesh.dx)
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree import balance
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=8, deadline=None)
+def test_unzip_property_random_balanced_trees(seed):
+    """Property: on any random balanced tree, (a) zip∘unzip is the
+    identity, (b) gather ≡ scatter, (c) unzip reproduces a smooth global
+    function on all interior patches to interpolation accuracy."""
+    rng = np.random.default_rng(seed)
+    t = LinearOctree.uniform(2)
+    for _ in range(2):
+        flags = rng.random(len(t)) < 0.25
+        flags &= t.levels < 5
+        t = t.refine(flags)
+    mesh = Mesh(balance(t))
+
+    c = mesh.coordinates()
+    u = np.sin(0.05 * c[..., 0]) * np.cos(0.07 * c[..., 1]) + 0.02 * c[..., 2]
+    p = mesh.unzip(u)
+    assert np.array_equal(mesh.zip(p), u)
+    assert np.allclose(p, mesh.unzip(u, method="gather"), atol=1e-13)
+
+    pc = mesh.patch_coordinates()
+    expect = (
+        np.sin(0.05 * pc[..., 0]) * np.cos(0.07 * pc[..., 1])
+        + 0.02 * pc[..., 2]
+    )
+    interior = np.ones(mesh.num_octants, dtype=bool)
+    interior[mesh.boundary_octants()] = False
+    if interior.any():
+        assert np.abs(p[interior] - expect[interior]).max() < 1e-5

@@ -1,0 +1,78 @@
+"""Tests for 2:1 balancing."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree import LinearOctree, balance, is_balanced
+
+
+def _point_refined_tree(depth: int) -> LinearOctree:
+    """Refine repeatedly at the domain centre.
+
+    The leaf containing the centre always nests at the corner of the (+,+,+)
+    octant, so after two rounds it touches level-1 leaves across the centre
+    planes: maximally unbalanced.
+    """
+    from repro.octree.keys import LATTICE
+
+    c = np.array([int(LATTICE) // 2], dtype=np.uint64)
+    t = LinearOctree.uniform(1)
+    for _ in range(depth):
+        flags = np.zeros(len(t), dtype=bool)
+        flags[t.locate(c, c, c)[0]] = True
+        t = t.refine(flags)
+    return t
+
+
+def test_uniform_is_balanced():
+    assert is_balanced(LinearOctree.uniform(3))
+
+
+def test_single_split_is_balanced():
+    t = LinearOctree.uniform(1)
+    flags = np.zeros(8, dtype=bool)
+    flags[0] = True
+    assert is_balanced(t.refine(flags))
+
+
+def test_point_refinement_unbalanced_then_balanced():
+    t = _point_refined_tree(4)
+    assert not is_balanced(t)
+    b = balance(t)
+    assert is_balanced(b)
+    assert b.is_complete()
+
+
+def test_balance_preserves_fine_leaves():
+    """Balance only refines; every original leaf survives or is split."""
+    t = _point_refined_tree(3)
+    b = balance(t)
+    assert len(b) >= len(t)
+    assert b.max_level == t.max_level
+    # every balanced leaf is contained in exactly one original leaf with
+    # level >= the original's level
+    oc = b.octants
+    idx = t.locate(oc.x, oc.y, oc.z)
+    assert np.all(b.levels >= t.levels[idx])
+
+
+def test_balance_idempotent():
+    t = balance(_point_refined_tree(4))
+    t2 = balance(t)
+    assert len(t2) == len(t)
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_random_trees_balance(seed):
+    rng = np.random.default_rng(seed)
+    t = LinearOctree.uniform(1)
+    for _ in range(3):
+        flags = rng.random(len(t)) < 0.25
+        flags &= t.levels < 7
+        t = t.refine(flags)
+    b = balance(t)
+    assert is_balanced(b)
+    assert b.is_complete()
+    assert b.max_level == t.max_level

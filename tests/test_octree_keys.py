@@ -1,0 +1,81 @@
+"""Tests for Morton key encoding/decoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree.keys import (
+    LATTICE,
+    MAX_DEPTH,
+    key_range_size,
+    morton_decode,
+    morton_encode,
+    octant_size,
+)
+
+COORD = st.integers(min_value=0, max_value=int(LATTICE) - 1)
+
+
+def test_encode_origin_is_zero():
+    assert morton_encode(np.array([0]), np.array([0]), np.array([0]))[0] == 0
+
+
+def test_encode_unit_steps():
+    # x is the least significant bit, then y, then z
+    assert morton_encode(np.array([1]), np.array([0]), np.array([0]))[0] == 1
+    assert morton_encode(np.array([0]), np.array([1]), np.array([0]))[0] == 2
+    assert morton_encode(np.array([0]), np.array([0]), np.array([1]))[0] == 4
+
+
+def test_encode_max_coordinate():
+    m = int(LATTICE) - 1
+    key = morton_encode(np.array([m]), np.array([m]), np.array([m]))[0]
+    assert key == (1 << (3 * MAX_DEPTH)) - 1
+
+
+@given(x=COORD, y=COORD, z=COORD)
+@settings(max_examples=200, deadline=None)
+def test_roundtrip(x, y, z):
+    key = morton_encode(np.array([x]), np.array([y]), np.array([z]))
+    rx, ry, rz = morton_decode(key)
+    assert (int(rx[0]), int(ry[0]), int(rz[0])) == (x, y, z)
+
+
+@given(st.lists(st.tuples(COORD, COORD, COORD), min_size=2, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_order_preserved_within_octant_prefix(pts):
+    """Keys of points inside one level-1 octant share the top 3 bits."""
+    arr = np.array(pts, dtype=np.uint64)
+    keys = morton_encode(arr[:, 0], arr[:, 1], arr[:, 2])
+    half = int(LATTICE) // 2
+    octant_id = (
+        (arr[:, 0] >= half).astype(int)
+        + 2 * (arr[:, 1] >= half).astype(int)
+        + 4 * (arr[:, 2] >= half).astype(int)
+    )
+    top = (keys >> np.uint64(3 * (MAX_DEPTH - 1))).astype(int)
+    assert np.array_equal(top, octant_id)
+
+
+def test_octant_size():
+    assert octant_size(0) == int(LATTICE)
+    assert octant_size(MAX_DEPTH) == 1
+    assert octant_size(np.array([1, 2])).tolist() == [
+        int(LATTICE) // 2,
+        int(LATTICE) // 4,
+    ]
+
+
+def test_key_range_size():
+    assert key_range_size(0) == 8**MAX_DEPTH
+    assert key_range_size(MAX_DEPTH) == 1
+
+
+def test_vectorised_encode_matches_scalar():
+    rng = np.random.default_rng(0)
+    pts = rng.integers(0, int(LATTICE), size=(100, 3), dtype=np.uint64)
+    keys = morton_encode(pts[:, 0], pts[:, 1], pts[:, 2])
+    for i in range(0, 100, 17):
+        k = morton_encode(pts[i : i + 1, 0], pts[i : i + 1, 1], pts[i : i + 1, 2])
+        assert k[0] == keys[i]

@@ -1,0 +1,201 @@
+"""Tests for LinearOctree: construction, completeness, location, refine/coarsen."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree import Domain, LinearOctree, Octants
+from repro.octree.keys import LATTICE
+
+
+class TestUniform:
+    def test_counts(self):
+        for lv in range(0, 4):
+            t = LinearOctree.uniform(lv)
+            assert len(t) == 8**lv
+            assert t.is_complete()
+            assert t.min_level == t.max_level == lv
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            LinearOctree.uniform(-1)
+        with pytest.raises(ValueError):
+            LinearOctree.uniform(99)
+
+
+class TestCompleteness:
+    def test_root_is_complete(self):
+        assert LinearOctree(Octants.root()).is_complete()
+
+    def test_missing_leaf_detected(self):
+        t = LinearOctree.uniform(2)
+        broken = LinearOctree(t.octants[:-1])
+        assert not broken.is_complete()
+
+    def test_duplicates_removed(self):
+        t = LinearOctree.uniform(1)
+        doubled = Octants.concatenate([t.octants, t.octants])
+        t2 = LinearOctree(doubled)
+        assert len(t2) == 8
+        assert t2.is_complete()
+
+
+class TestLocate:
+    def test_locate_centers(self):
+        t = LinearOctree.uniform(2)
+        oc = t.octants
+        c = oc.centers().astype(np.uint64)
+        idx = t.locate(c[:, 0], c[:, 1], c[:, 2])
+        assert np.array_equal(idx, np.arange(len(t)))
+
+    def test_locate_anchor_belongs_to_octant(self):
+        t = LinearOctree.uniform(3)
+        oc = t.octants
+        idx = t.locate(oc.x, oc.y, oc.z)
+        assert np.array_equal(idx, np.arange(len(t)))
+
+    def test_locate_checked_outside(self):
+        t = LinearOctree.uniform(1)
+        idx = t.locate_checked(
+            np.array([-1, int(LATTICE)]), np.array([0, 0]), np.array([0, 0])
+        )
+        assert np.array_equal(idx, [-1, -1])
+
+
+class TestRefineCoarsen:
+    def test_refine_one(self):
+        t = LinearOctree.uniform(1)
+        flags = np.zeros(8, dtype=bool)
+        flags[0] = True
+        t2 = t.refine(flags)
+        assert len(t2) == 7 + 8
+        assert t2.is_complete()
+        assert t2.max_level == 2
+
+    def test_refine_all(self):
+        t = LinearOctree.uniform(1)
+        t2 = t.refine(np.ones(8, dtype=bool))
+        assert len(t2) == 64
+        assert t2.is_complete()
+
+    def test_coarsen_inverts_refine(self):
+        t = LinearOctree.uniform(2)
+        flags = np.zeros(len(t), dtype=bool)
+        flags[:8] = True  # first family (siblings are contiguous in SFC order)
+        t2 = t.coarsen(flags)
+        assert len(t2) == len(t) - 7
+        assert t2.is_complete()
+
+    def test_coarsen_partial_family_is_noop(self):
+        t = LinearOctree.uniform(2)
+        flags = np.zeros(len(t), dtype=bool)
+        flags[:7] = True  # only 7 of the 8 siblings
+        t2 = t.coarsen(flags)
+        assert len(t2) == len(t)
+
+    def test_coarsen_root_level_is_noop(self):
+        t = LinearOctree(Octants.root())
+        t2 = t.coarsen(np.array([True]))
+        assert len(t2) == 1
+
+    def test_flags_shape_checked(self):
+        t = LinearOctree.uniform(1)
+        with pytest.raises(ValueError):
+            t.refine(np.zeros(3, dtype=bool))
+        with pytest.raises(ValueError):
+            t.coarsen(np.zeros(3, dtype=bool))
+
+
+@given(seed=st.integers(0, 2**31 - 1), rounds=st.integers(1, 4))
+@settings(max_examples=20, deadline=None)
+def test_random_refinement_keeps_completeness(seed, rounds):
+    """Property: arbitrary refine/coarsen sequences preserve completeness."""
+    rng = np.random.default_rng(seed)
+    t = LinearOctree.uniform(1)
+    for _ in range(rounds):
+        if rng.random() < 0.7:
+            flags = rng.random(len(t)) < 0.3
+            flags &= t.levels < 6
+            t = t.refine(flags)
+        else:
+            flags = rng.random(len(t)) < 0.5
+            t = t.coarsen(flags)
+        assert t.is_complete()
+        keys = t.keys
+        assert np.all(np.diff(keys.astype(np.float64)) > 0)  # sorted, unique
+
+
+def test_from_refinement_ball():
+    dom = Domain(-1.0, 1.0)
+
+    def fn(centers, sizes, _lv):
+        return (np.linalg.norm(centers, axis=1) < 0.5) & (sizes > 0.25)
+
+    t = LinearOctree.from_refinement(fn, domain=dom, base_level=2, max_level=5)
+    assert t.is_complete()
+    assert t.max_level > 2
+    # refined octants concentrate near the center
+    oc = t.octants
+    fine = oc.level == t.max_level
+    centers = dom.to_physical(oc.centers()[fine])
+    assert np.all(np.linalg.norm(centers, axis=1) < 0.5 + 0.5)
+
+
+def test_num_grid_points():
+    t = LinearOctree.uniform(2)
+    assert t.num_grid_points(r=7) == 64 * 343
+
+
+class TestDomain:
+    def test_roundtrip(self):
+        dom = Domain(-40.0, 40.0)
+        x = np.array([-40.0, 0.0, 39.5])
+        assert np.allclose(dom.to_physical(dom.to_lattice(x)), x)
+
+    def test_octant_dx(self):
+        dom = Domain(0.0, 64.0)
+        # level-0 octant spans the domain: 7 points -> h = 64/6
+        assert np.isclose(dom.octant_dx(0, 7), 64.0 / 6.0)
+        assert np.isclose(dom.octant_dx(3, 7), 8.0 / 6.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Domain(1.0, 1.0)
+
+
+class TestFromPoints:
+    def test_splits_until_capacity(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(scale=3.0, size=(500, 3))
+        t = LinearOctree.from_points(pts, max_per_octant=16,
+                                     domain=Domain(-50.0, 50.0), max_level=8)
+        assert t.is_complete()
+        counts = t.point_counts(pts)
+        assert counts.sum() == 500
+        assert counts.max() <= 16
+
+    def test_respects_max_level(self):
+        pts = np.zeros((100, 3))  # all points coincide: cannot separate
+        t = LinearOctree.from_points(pts, max_per_octant=4,
+                                     domain=Domain(-1.0, 1.0), max_level=5)
+        assert t.max_level == 5
+
+    def test_refines_where_points_cluster(self):
+        rng = np.random.default_rng(1)
+        cluster = rng.normal(scale=0.5, size=(300, 3)) + np.array([10.0, 0, 0])
+        t = LinearOctree.from_points(cluster, max_per_octant=8,
+                                     domain=Domain(-50.0, 50.0), max_level=8)
+        oc = t.octants
+        fine = oc.level == t.max_level
+        centers = t.domain.to_physical(oc.centers()[fine])
+        assert np.linalg.norm(
+            centers - np.array([10.0, 0, 0]), axis=1
+        ).max() < 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearOctree.from_points(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            LinearOctree.from_points(np.full((2, 3), 1e9),
+                                     domain=Domain(-1.0, 1.0))

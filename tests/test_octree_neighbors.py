@@ -1,0 +1,111 @@
+"""Tests for adjacency / neighbour maps."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree import (
+    LinearOctree,
+    balance,
+    bbh_grid,
+    build_adjacency,
+    face_neighbors,
+)
+
+
+def _touch(a, b) -> bool:
+    """Geometric predicate: two octants share at least a corner but do not
+    overlap (brute-force reference for adjacency)."""
+    ax0, ay0, az0 = int(a.x[0]), int(a.y[0]), int(a.z[0])
+    asz = int(a.size[0])
+    bx0, by0, bz0 = int(b.x[0]), int(b.y[0]), int(b.z[0])
+    bsz = int(b.size[0])
+    gaps = [
+        max(ax0, bx0) - min(ax0 + asz, bx0 + bsz),
+        max(ay0, by0) - min(ay0 + asz, by0 + bsz),
+        max(az0, bz0) - min(az0 + asz, bz0 + bsz),
+    ]
+    return max(gaps) == 0 and all(g <= 0 for g in gaps)
+
+
+def test_uniform_interior_has_26_neighbors():
+    t = LinearOctree.uniform(2)
+    adj = build_adjacency(t)
+    oc = t.octants
+    sz = int(oc.size[0])
+    lat = sz * 4
+    interior = (
+        (oc.x.astype(int) > 0)
+        & (oc.x.astype(int) + sz < lat)
+        & (oc.y.astype(int) > 0)
+        & (oc.y.astype(int) + sz < lat)
+        & (oc.z.astype(int) > 0)
+        & (oc.z.astype(int) + sz < lat)
+    )
+    counts = np.diff(adj.indptr)
+    assert np.all(counts[interior] == 26)
+    # corner octant has 7 neighbours
+    corner = (oc.x == 0) & (oc.y == 0) & (oc.z == 0)
+    assert counts[np.flatnonzero(corner)[0]] == 7
+
+
+def test_adjacency_symmetric():
+    g = bbh_grid(mass_ratio=2.0, max_level=6, base_level=2)
+    adj = build_adjacency(g)
+    n = len(g)
+    src = np.repeat(np.arange(n), np.diff(adj.indptr))
+    pairs = set(zip(src.tolist(), adj.indices.tolist()))
+    for i, j in list(pairs)[:2000]:
+        assert (j, i) in pairs
+
+
+def test_adjacency_matches_bruteforce_on_small_tree():
+    t = LinearOctree.uniform(1)
+    flags = np.zeros(8, dtype=bool)
+    flags[0] = True
+    t = balance(t.refine(flags))
+    adj = build_adjacency(t)
+    n = len(t)
+    for i in range(n):
+        expect = {
+            j
+            for j in range(n)
+            if j != i and _touch(t.octants[i : i + 1], t.octants[j : j + 1])
+        }
+        got = set(adj.neighbors_of(i).tolist())
+        assert got == expect, f"octant {i}: {got} != {expect}"
+
+
+def test_face_neighbors_subset_of_adjacency():
+    g = bbh_grid(mass_ratio=1.0, max_level=6, base_level=2)
+    adj = build_adjacency(g)
+    o2o = face_neighbors(g)
+    n = len(g)
+    for i in range(0, n, max(1, n // 50)):
+        assert set(o2o.neighbors_of(i)) <= set(adj.neighbors_of(i))
+
+
+def test_face_neighbor_counts_uniform():
+    t = LinearOctree.uniform(2)
+    o2o = face_neighbors(t)
+    counts = np.diff(o2o.indptr)
+    # interior: 6 faces; corner: 3
+    assert counts.max() == 6
+    assert counts.min() == 3
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_adjacency_levels_within_one(seed):
+    """On balanced trees every adjacent pair differs by at most one level."""
+    rng = np.random.default_rng(seed)
+    t = LinearOctree.uniform(2)
+    for _ in range(2):
+        flags = rng.random(len(t)) < 0.2
+        flags &= t.levels < 6
+        t = t.refine(flags)
+    t = balance(t)
+    adj = build_adjacency(t)
+    src = np.repeat(np.arange(len(t)), np.diff(adj.indptr))
+    lv = t.levels.astype(int)
+    assert np.all(np.abs(lv[src] - lv[adj.indices]) <= 1)

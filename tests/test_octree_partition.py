@@ -1,0 +1,96 @@
+"""Tests for SFC partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.octree import (
+    LinearOctree,
+    bbh_grid,
+    build_adjacency,
+    partition_octree,
+)
+
+
+def test_partition_covers_all_leaves():
+    t = LinearOctree.uniform(3)
+    p = partition_octree(t, 4)
+    assert p.num_parts == 4
+    total = sum(len(p.local_indices(r)) for r in range(4))
+    assert total == len(t)
+    assert np.array_equal(np.sort(np.unique(p.owner)), np.arange(4))
+
+
+def test_partition_balanced_counts():
+    t = LinearOctree.uniform(3)  # 512 leaves
+    p = partition_octree(t, 8)
+    sizes = p.part_sizes()
+    assert sizes.sum() == 512
+    assert sizes.max() - sizes.min() <= 1
+
+
+def test_partition_single_rank():
+    t = LinearOctree.uniform(2)
+    p = partition_octree(t, 1)
+    assert p.part_sizes().tolist() == [64]
+    assert len(p.ghost_indices(0)) == 0
+
+
+def test_partition_weighted():
+    t = LinearOctree.uniform(2)
+    w = np.ones(len(t))
+    w[:32] = 3.0  # first half is 3x heavier
+    p = partition_octree(t, 2, weights=w)
+    # weighted halves: 3*32 = 96 vs 32 -> cut lands inside the heavy block
+    assert p.offsets[1] < 32 + 8
+
+    with pytest.raises(ValueError):
+        partition_octree(t, 2, weights=np.ones(3))
+    with pytest.raises(ValueError):
+        partition_octree(t, 0)
+
+
+def test_ghosts_are_cross_rank_neighbors():
+    g = bbh_grid(mass_ratio=2.0, max_level=6, base_level=2)
+    p = partition_octree(g, 4)
+    adj = build_adjacency(g)
+    for r in range(4):
+        ghosts = p.ghost_indices(r, adj)
+        assert np.all(p.owner[ghosts] != r)
+        local = set(p.local_indices(r).tolist())
+        # each ghost touches at least one local octant
+        for gidx in ghosts[: min(len(ghosts), 40)]:
+            assert local & set(adj.neighbors_of(int(gidx)).tolist())
+
+
+def test_boundary_surface_less_than_total():
+    g = bbh_grid(mass_ratio=2.0, max_level=6, base_level=2)
+    adj = build_adjacency(g)
+    p = partition_octree(g, 4)
+    surf = p.boundary_surface(adj)
+    assert surf.shape == (4,)
+    assert np.all(surf > 0)
+    assert surf.sum() < adj.num_pairs  # interior pairs dominate
+
+
+@given(parts=st.integers(1, 16), level=st.integers(1, 3))
+@settings(max_examples=20, deadline=None)
+def test_partition_offsets_monotone(parts, level):
+    t = LinearOctree.uniform(level)
+    p = partition_octree(t, parts)
+    assert np.all(np.diff(p.offsets) >= 0)
+    assert p.offsets[0] == 0
+    assert p.offsets[-1] == len(t)
+
+
+def test_more_ranks_higher_surface_to_volume():
+    """Strong-scaling driver: ghost fraction grows with rank count."""
+    g = bbh_grid(mass_ratio=2.0, max_level=6, base_level=3)
+    adj = build_adjacency(g)
+    fracs = []
+    for parts in (2, 4, 8):
+        p = partition_octree(g, parts)
+        ghost = sum(len(p.ghost_indices(r, adj)) for r in range(parts))
+        fracs.append(ghost / len(g))
+    assert fracs[0] < fracs[-1]

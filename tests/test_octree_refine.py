@@ -1,0 +1,100 @@
+"""Tests for BBH refinement drivers (grids of Figs. 3, 12, 13, Table III)."""
+
+import numpy as np
+
+from repro.octree import (
+    Domain,
+    adaptivity_family,
+    bbh_grid,
+    build_adjacency,
+    is_balanced,
+    postmerger_grid,
+)
+
+
+class TestBBHGrid:
+    def test_complete_and_balanced(self):
+        g = bbh_grid(mass_ratio=4.0, max_level=8, base_level=2)
+        assert g.is_complete()
+        assert is_balanced(g)
+
+    def test_finest_levels_at_punctures(self):
+        q = 4.0
+        g = bbh_grid(mass_ratio=q, separation=8.0, max_level=8, base_level=2)
+        dom = g.domain
+        m2 = 1.0 / (1.0 + q)
+        m1 = q / (1.0 + q)
+        x1, x2 = -8.0 * m2, 8.0 * m1
+        finest = g.levels == g.max_level
+        centers = dom.to_physical(g.octants.centers()[finest])
+        d1 = np.linalg.norm(centers - np.array([x1, 0, 0]), axis=1)
+        d2 = np.linalg.norm(centers - np.array([x2, 0, 0]), axis=1)
+        # every finest octant is close to a puncture
+        assert np.all(np.minimum(d1, d2) < 4.0)
+
+    def test_higher_q_refines_smaller_bh_deeper(self):
+        """For unequal masses the lighter puncture needs deeper refinement
+        (paper Table I / Fig. 3): with fixed max_level the finest octants
+        cluster at the small BH."""
+        q = 4.0
+        g = bbh_grid(mass_ratio=q, separation=8.0, max_level=9, base_level=2)
+        m1 = q / (1.0 + q)
+        x2 = 8.0 * m1  # small BH position
+        finest = g.levels == g.max_level
+        centers = g.domain.to_physical(g.octants.centers()[finest])
+        d_small = np.linalg.norm(centers - np.array([x2, 0, 0]), axis=1)
+        assert np.median(d_small) < 2.0
+
+    def test_level_profile_along_x_axis(self):
+        """Fig. 12 structure: levels peak at the punctures and decay with
+        distance along the x axis."""
+        g = bbh_grid(mass_ratio=8.0, separation=8.0, max_level=9, base_level=3)
+        dom = g.domain
+        xs = np.linspace(dom.xmin + 1, dom.xmax - 1, 200)
+        pts = dom.to_lattice(np.stack([xs, 0 * xs, 0 * xs], axis=1)).astype(np.int64)
+        idx = g.locate_checked(pts[:, 0], pts[:, 1], pts[:, 2])
+        levels = g.levels[idx].astype(int)
+        # deepest near puncture, shallow at boundary
+        assert levels.max() == g.max_level
+        assert levels[0] <= levels.max() - 3
+        assert levels[-1] <= levels.max() - 3
+
+
+class TestPostMerger:
+    def test_shell_refined(self):
+        g = postmerger_grid(wave_zone=(20.0, 60.0), wave_size=8.0, remnant_level=7)
+        assert g.is_complete()
+        assert is_balanced(g)
+        oc = g.octants
+        sizes = oc.size.astype(np.float64) * g.domain.lattice_h
+        centers = g.domain.to_physical(oc.centers())
+        r = np.linalg.norm(centers, axis=1)
+        in_shell = (r > 25.0) & (r < 55.0)
+        assert np.all(sizes[in_shell] <= 8.0 * 1.0001)
+
+
+class TestAdaptivityFamily:
+    def test_counts_monotone(self):
+        counts = [len(adaptivity_family(i)) for i in range(1, 6)]
+        assert counts == sorted(counts)
+        assert counts[0] < 2000 and counts[-1] > 5000
+
+    def test_adaptivity_decreases(self):
+        """Cross-level adjacency fraction (interpolation work driver)
+        decreases from m1 to m5 as in Table III."""
+        fracs = []
+        for i in range(1, 6):
+            g = adaptivity_family(i)
+            adj = build_adjacency(g)
+            src = np.repeat(np.arange(len(g)), np.diff(adj.indptr))
+            lv = g.levels.astype(int)
+            fracs.append(float(np.mean(lv[src] != lv[adj.indices])))
+        assert all(a >= b for a, b in zip(fracs, fracs[1:]))
+
+    def test_invalid_index(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            adaptivity_family(0)
+        with pytest.raises(ValueError):
+            adaptivity_family(6)

@@ -1,0 +1,196 @@
+"""Tests for the simulated communicator, halo exchange, and scaling models."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import Mesh
+from repro.octree import LinearOctree, bbh_grid, partition_octree
+from repro.parallel import (
+    ScalingStudy,
+    SimComm,
+    build_halo_plan,
+    distributed_unzip,
+    efficiencies,
+    exchange_ghosts,
+)
+
+
+class TestSimComm:
+    def test_point_to_point(self):
+        world = SimComm(2)
+        a = np.arange(5.0)
+        world.rank(0).send(1, a)
+        b = world.rank(1).recv(0)
+        assert np.array_equal(a, b)
+        assert world.bytes_sent[0] == a.nbytes
+        assert world.total_bytes() == a.nbytes
+
+    def test_payload_copied(self):
+        world = SimComm(2)
+        a = np.zeros(3)
+        world.rank(0).send(1, a)
+        a[:] = 99.0
+        assert np.array_equal(world.rank(1).recv(0), np.zeros(3))
+
+    def test_missing_message(self):
+        world = SimComm(2)
+        with pytest.raises(RuntimeError):
+            world.rank(0).recv(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimComm(0)
+        world = SimComm(2)
+        with pytest.raises(ValueError):
+            world.rank(5)
+        with pytest.raises(ValueError):
+            world.rank(0).send(7, np.zeros(1))
+
+
+@pytest.fixture(scope="module")
+def bbh_mesh():
+    return Mesh(bbh_grid(mass_ratio=2.0, max_level=6, base_level=2))
+
+
+class TestHalo:
+    def test_plan_send_recv_symmetry(self, bbh_mesh):
+        part = partition_octree(bbh_mesh.tree, 4)
+        plan = build_halo_plan(bbh_mesh, part)
+        # everything a rank receives is sent by the owning rank
+        for rank in range(4):
+            ghosts = set(plan.ghost_lists[rank].tolist())
+            sent_to_rank = set()
+            for src in range(4):
+                idx = plan.send_lists[src].get(rank)
+                if idx is not None:
+                    sent_to_rank.update(idx.tolist())
+            assert ghosts == sent_to_rank
+
+    def test_exchange_delivers_blocks(self, bbh_mesh):
+        part = partition_octree(bbh_mesh.tree, 3)
+        plan = build_halo_plan(bbh_mesh, part)
+        c = bbh_mesh.coordinates()
+        u = c[..., 0][None]  # 1-dof field = x coordinate
+        locals_ = [u[:, part.offsets[r] : part.offsets[r + 1]] for r in range(3)]
+        comm = SimComm(3)
+        ghosts = exchange_ghosts(plan, locals_, comm, dof=1)
+        for rank in range(3):
+            for g, block in ghosts[rank].items():
+                assert np.array_equal(block, u[:, g])
+
+    def test_bytes_accounting(self, bbh_mesh):
+        part = partition_octree(bbh_mesh.tree, 4)
+        plan = build_halo_plan(bbh_mesh, part)
+        expected = plan.bytes_per_exchange(r=7, dof=2)
+        comm = SimComm(4)
+        c = bbh_mesh.coordinates()
+        u = np.stack([c[..., 0], c[..., 1]])
+        distributed_unzip(bbh_mesh, part, u, comm)
+        assert comm.total_bytes() == expected.sum()
+
+    @pytest.mark.parametrize("ranks", [2, 3, 5])
+    def test_distributed_unzip_equals_global(self, bbh_mesh, ranks):
+        """Fig. 21's foundation: distribution does not change the numbers."""
+        part = partition_octree(bbh_mesh.tree, ranks)
+        c = bbh_mesh.coordinates()
+        u = np.stack([np.sin(0.2 * c[..., 0]), c[..., 1] * c[..., 2] * 0.01])
+        pd = distributed_unzip(bbh_mesh, part, u)
+        pg = bbh_mesh.unzip(u)
+        assert np.array_equal(pd, pg)
+
+    def test_single_dof_field(self, bbh_mesh):
+        part = partition_octree(bbh_mesh.tree, 2)
+        c = bbh_mesh.coordinates()
+        u = c[..., 0] ** 2
+        pd = distributed_unzip(bbh_mesh, part, u)
+        assert np.array_equal(pd, bbh_mesh.unzip(u))
+
+
+class TestScalingStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        mesh = Mesh(bbh_grid(mass_ratio=2.0, max_level=7, base_level=3))
+        return ScalingStudy(mesh)
+
+    def test_strong_scaling_trend(self, study):
+        """Fig. 17: efficiency decreases with GPU count, staying above
+        ~60% at 16 GPUs for 257M unknowns."""
+        pts = study.strong_scaling(257e6, [2, 4, 8, 16])
+        eff = efficiencies(pts, "strong")
+        assert eff[0] == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(eff, eff[1:]))
+        assert 0.80 < eff[1] < 1.0  # 4 GPUs (paper 97%)
+        assert 0.70 < eff[2] < 0.95  # 8 GPUs (paper 89%)
+        assert 0.5 < eff[3] < 0.8  # 16 GPUs (paper 64%)
+
+    def test_weak_scaling_trend(self, study):
+        """Fig. 18: ~83% average efficiency at 35M unknowns/GPU."""
+        pts = study.weak_scaling(35e6, [1, 2, 4, 8, 16])
+        eff = efficiencies(pts, "weak")
+        assert eff[0] == pytest.approx(1.0)
+        assert 0.6 < np.mean(eff[1:]) < 1.0
+
+    def test_times_scale_with_problem(self, study):
+        small = study.point(10e6, 4)
+        big = study.point(100e6, 4)
+        assert big.total > 5 * small.total
+
+    def test_breakdown_phases(self, study):
+        phases = study.breakdown(500e3 * 56, 56)
+        assert set(phases) >= {"rhs", "octant-to-patch", "patch-to-octant", "comm"}
+        assert phases["rhs"] > phases["patch-to-octant"]
+        assert all(v >= 0 for v in phases.values())
+
+    def test_frontera_scale_does_not_crash(self, study):
+        """Fig. 20 regime: thousands of ranks via the analytic surface
+        fallback."""
+        pts = study.weak_scaling(500e3 * 56, [56, 224, 896, 3584], steps=1)
+        assert all(np.isfinite(p.total) and p.total > 0 for p in pts)
+
+    def test_comm_zero_single_rank(self, study):
+        assert study.comm_time(1e6, 1) == 0.0
+
+
+class TestLoadBalance:
+    @pytest.fixture(scope="class")
+    def mesh(self):
+        from repro.octree import bbh_grid
+
+        return Mesh(bbh_grid(mass_ratio=2.0, max_level=6, base_level=2))
+
+    def test_weights_positive_and_interface_heavier(self, mesh):
+        from repro.mesh import CASE_COARSE
+        from repro.parallel import octant_work_weights
+
+        w = octant_work_weights(mesh)
+        assert np.all(w > 0)
+        # coarse sources (which prolong) cost more than the plain base
+        coarse_src = np.unique(
+            np.concatenate(
+                [g.src for g in mesh.plan.groups if g.case == CASE_COARSE]
+            )
+        )
+        rest = np.setdiff1d(np.arange(mesh.num_octants), coarse_src)
+        assert w[coarse_src].mean() > w[rest].mean()
+
+    def test_work_partition_improves_predicted_balance(self, mesh):
+        from repro.octree import partition_octree
+        from repro.parallel import (
+            octant_work_weights,
+            partition_by_work,
+            predicted_imbalance,
+        )
+
+        w = octant_work_weights(mesh)
+        naive = partition_octree(mesh.tree, 6)
+        smart = partition_by_work(mesh, 6)
+        assert predicted_imbalance(mesh, smart, w) <= predicted_imbalance(
+            mesh, naive, w
+        ) + 1e-9
+        assert predicted_imbalance(mesh, smart, w) < 1.2
+
+    def test_work_partition_still_complete(self, mesh):
+        from repro.parallel import partition_by_work
+
+        p = partition_by_work(mesh, 5)
+        assert p.part_sizes().sum() == mesh.num_octants
