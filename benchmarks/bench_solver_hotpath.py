@@ -1,0 +1,239 @@
+"""E-hotpath — zero-allocation RK4 hot path: steps/sec, peak allocation,
+and the Fig.-20-style per-phase breakdown, before vs after the workspace
+arena.
+
+Three driver configurations on the same BBH-style grid and initial data:
+
+* ``legacy`` — the pre-workspace driver: allocating RHS path *and* the
+  per-tap stencil accumulation loop (``fused=False``);
+* ``fused``  — allocating path with the fused einsum stencils (isolates
+  the stencil-batching win);
+* ``pooled`` — the full hot path: workspace arena, coalesced scatter,
+  in-place RK4, hoisted boundary invariants.
+
+``pooled`` and ``fused`` must produce bitwise-identical states; ``legacy``
+differs only by stencil summation order (reported as a relative deviation).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_solver_hotpath.py --quick \
+        --json benchmarks/output/hotpath.json
+
+or via pytest (quick mode): ``pytest benchmarks/bench_solver_hotpath.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.bssn import Puncture
+from repro.fd import PatchDerivatives
+from repro.mesh import Mesh
+from repro.octree import bbh_grid
+from repro.perf import PHASES, StepProfiler
+from repro.solver import BSSNSolver
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+PUNCTURES = [
+    Puncture(1.0, [-1.5, 0.0, 0.0], momentum=[0.0, 0.1, 0.0]),
+    Puncture(0.5, [1.5, 0.0, 0.0], momentum=[0.0, -0.2, 0.0]),
+]
+
+
+def make_mesh(quick: bool) -> Mesh:
+    if quick:
+        return Mesh(bbh_grid(mass_ratio=2.0, max_level=5, base_level=2))
+    # >=500-octant BBH-style grid (acceptance-criterion scale)
+    return Mesh(bbh_grid(mass_ratio=2.0, max_level=6, base_level=3))
+
+
+def make_solver(mesh: Mesh, config: str, profiler: StepProfiler | None = None) -> BSSNSolver:
+    if config == "legacy":
+        s = BSSNSolver(mesh, pooled=False, profiler=profiler)
+        s.pd = PatchDerivatives(k=mesh.k, fused=False)  # pre-PR tap loop
+    elif config == "fused":
+        s = BSSNSolver(mesh, pooled=False, profiler=profiler)
+    elif config == "pooled":
+        s = BSSNSolver(mesh, pooled=True, profiler=profiler)
+    else:
+        raise ValueError(config)
+    s.set_punctures(PUNCTURES)
+    return s
+
+
+def run_config(mesh: Mesh, config: str, steps: int, *,
+               profiler: StepProfiler | None = None,
+               measure_memory: bool = True) -> dict:
+    """Warm up one step (plan/pool build), then time ``steps`` steps; a
+    separate fresh solver measures peak allocation of one steady step."""
+    solver = make_solver(mesh, config, profiler)
+    solver.step()  # warmup: builds coalesced plan / fills the arena
+    per_step = []
+    for _ in range(steps):
+        t0 = time.perf_counter()
+        solver.step()
+        per_step.append(time.perf_counter() - t0)
+    elapsed = sum(per_step)
+
+    peak_mb = None
+    if measure_memory:
+        mem_solver = make_solver(mesh, config)
+        mem_solver.step()  # warm arena so the peak is the steady-state one
+        tracemalloc.start()
+        mem_solver.step()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        peak_mb = peak / 1e6
+
+    return {
+        "config": config,
+        "steps": steps,
+        "elapsed_s": elapsed,
+        "sec_per_step": elapsed / steps,
+        "min_sec_per_step": min(per_step),
+        "steps_per_sec": steps / elapsed,
+        "peak_alloc_mb": peak_mb,
+        "state": solver.state,
+    }
+
+
+def max_rel_dev(a: np.ndarray, b: np.ndarray) -> float:
+    """Largest |a-b| normalised by the largest magnitude in ``b``."""
+    scale = float(np.abs(b).max()) or 1.0
+    return float(np.abs(a - b).max()) / scale
+
+
+def profiler_overhead(mesh: Mesh, steps: int) -> dict:
+    """Steps/sec with no profiler vs a disabled profiler (<2% target).
+
+    Uses the minimum per-step time of each run so a single scheduler
+    hiccup does not masquerade as profiler cost.
+    """
+    base = run_config(mesh, "pooled", steps, measure_memory=False)
+    off = run_config(mesh, "pooled", steps,
+                     profiler=StepProfiler(enabled=False),
+                     measure_memory=False)
+    overhead = off["min_sec_per_step"] / base["min_sec_per_step"] - 1.0
+    return {
+        "no_profiler_sec_per_step": base["min_sec_per_step"],
+        "disabled_profiler_sec_per_step": off["min_sec_per_step"],
+        "overhead_frac": overhead,
+    }
+
+
+def run_benchmark(quick: bool = False, steps: int | None = None,
+                  check_overhead: bool = True) -> dict:
+    mesh = make_mesh(quick)
+    n_steps = steps if steps is not None else (1 if quick else 2)
+    prof = StepProfiler()
+
+    results = {cfg: run_config(mesh, cfg, n_steps,
+                               profiler=prof if cfg == "pooled" else None)
+               for cfg in ("legacy", "fused", "pooled")}
+
+    legacy, fused, pooled = (results[c] for c in ("legacy", "fused", "pooled"))
+    speedup = pooled["steps_per_sec"] / legacy["steps_per_sec"]
+    bitwise = bool(np.array_equal(pooled["state"], fused["state"]))
+    rel_vs_legacy = max_rel_dev(pooled["state"], legacy["state"])
+
+    report = {
+        "grid": {
+            "octants": mesh.num_octants,
+            "unknowns": mesh.num_points * 24,
+            "quick": quick,
+        },
+        "configs": {
+            c: {k: v for k, v in r.items() if k != "state"}
+            for c, r in results.items()
+        },
+        "speedup_pooled_vs_legacy": speedup,
+        "speedup_pooled_vs_fused": pooled["steps_per_sec"] / fused["steps_per_sec"],
+        "pooled_bitwise_equals_unpooled": bitwise,
+        "max_rel_dev_vs_legacy": rel_vs_legacy,
+        "alloc_reduction_vs_legacy": (
+            legacy["peak_alloc_mb"] / pooled["peak_alloc_mb"]
+            if pooled["peak_alloc_mb"] else None
+        ),
+        "profiler": prof.summary(),
+    }
+    if check_overhead:
+        report["profiler_overhead"] = profiler_overhead(mesh, n_steps)
+    return report
+
+
+def render(report: dict) -> str:
+    g = report["grid"]
+    lines = [
+        f"hot-path benchmark: {g['octants']} octants "
+        f"({g['unknowns'] / 1e6:.2f}M unknowns)"
+        + (" [quick]" if g["quick"] else ""),
+        f"{'config':<8} {'s/step':>9} {'steps/s':>9} {'peak MB':>9}",
+    ]
+    for cfg, r in report["configs"].items():
+        peak = f"{r['peak_alloc_mb']:>9.1f}" if r["peak_alloc_mb"] is not None else f"{'-':>9}"
+        lines.append(
+            f"{cfg:<8} {r['sec_per_step']:>9.3f} {r['steps_per_sec']:>9.4f} {peak}"
+        )
+    lines += [
+        f"pooled vs legacy (pre-PR driver): {report['speedup_pooled_vs_legacy']:.2f}x steps/sec, "
+        f"{report['alloc_reduction_vs_legacy']:.1f}x less peak allocation",
+        f"pooled vs fused-unpooled:         {report['speedup_pooled_vs_fused']:.2f}x; "
+        f"bitwise identical: {report['pooled_bitwise_equals_unpooled']}",
+        f"max deviation vs legacy stencils: {report['max_rel_dev_vs_legacy']:.2e} "
+        "(relative; summation order only)",
+        "",
+        "per-phase breakdown (pooled, Fig. 20 style):",
+    ]
+    ph = report["profiler"]["phases"]
+    for p in PHASES:
+        lines.append(f"  {p:<10} {ph[p]['per_step']:>9.4f} s/step  {ph[p]['fraction'] * 100:>5.1f}%")
+    if "profiler_overhead" in report:
+        lines.append(
+            f"disabled-profiler overhead: "
+            f"{report['profiler_overhead']['overhead_frac'] * 100:.2f}%"
+        )
+    return "\n".join(lines)
+
+
+def test_hotpath_quick():
+    """Pytest entry: quick-mode run with the acceptance checks."""
+    report = run_benchmark(quick=True, check_overhead=False)
+    assert report["pooled_bitwise_equals_unpooled"]
+    assert report["max_rel_dev_vs_legacy"] < 1e-9  # summation order only
+    assert report["speedup_pooled_vs_legacy"] > 1.0
+    print("\n" + render(report))
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="small grid, 1 timed step (CI smoke run)")
+    ap.add_argument("--steps", type=int, default=None,
+                    help="timed steps per config (default: 2, quick: 1)")
+    ap.add_argument("--json", type=pathlib.Path, default=None,
+                    help="write the machine-readable report here")
+    ap.add_argument("--no-overhead", action="store_true",
+                    help="skip the disabled-profiler overhead measurement")
+    args = ap.parse_args()
+
+    report = run_benchmark(quick=args.quick, steps=args.steps,
+                           check_overhead=not args.no_overhead)
+    text = render(report)
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "hotpath.txt").write_text(text + "\n")
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(report, indent=2))
+        print(f"\nwrote {args.json}")
+
+
+if __name__ == "__main__":
+    main()

@@ -91,56 +91,64 @@ class Derivs:
 
 
 def compute_derivatives(
-    patches: np.ndarray, h, params: BSSNParams, pd: PatchDerivatives | None = None
+    patches: np.ndarray,
+    h,
+    params: BSSNParams,
+    pd: PatchDerivatives | None = None,
+    *,
+    pool=None,
 ) -> Derivs:
-    """The D component: evaluate all 210 derivatives on patch interiors."""
+    """The D component: evaluate all 210 derivatives on patch interiors.
+
+    Every sweep runs directly on the ``(24, n, P, P, P)`` batch (the
+    stencil helpers accept arbitrary leading axes), so no flatten/tile
+    copies are made.  With ``pool`` (duck-typed ``get(name, shape)``,
+    see :class:`repro.perf.BufferPool`) the result arrays and all
+    internal scratch come from reusable buffers — zero allocations once
+    the pool is warm.
+    """
     if patches.shape[0] != S.NUM_VARS:
         raise ValueError(f"expected {S.NUM_VARS} variables")
     if pd is None:
         pd = PatchDerivatives(k=3)
     n = patches.shape[1]
     P = patches.shape[-1]
-    r = P - 2 * pd.k
-    shape = (n, r, r, r)
-
-    # batch all variables into one leading axis so every stencil sweep is
-    # a single large vectorised application (the per-octant h array tiles
-    # across the variable axis)
-    flat = patches.reshape(S.NUM_VARS * n, P, P, P)
+    k = pd.k
+    r = P - 2 * k
+    shape = (S.NUM_VARS, n, r, r, r)
     h_arr = np.asarray(h, dtype=np.float64)
-    h_flat = np.tile(h_arr, S.NUM_VARS) if h_arr.ndim else h_arr
 
-    d1 = np.empty((S.NUM_VARS, 3) + shape)
+    def buf(name, shp):
+        if pool is None:
+            return np.empty(shp)
+        return pool.get(f"rhs.{name}", shp)
+
+    # direction-major storage keeps each sweep's destination contiguous;
+    # the returned views are variable-major, matching Derivs indexing
+    d1_base = buf("d1", (3,) + shape)
     for d in range(3):
-        d1[:, d] = pd.d1(flat, h_flat, d).reshape((S.NUM_VARS,) + shape)
+        pd.d1(patches, h_arr, d, out=d1_base[d])
+    d1 = np.swapaxes(d1_base, 0, 1)
 
     if params.use_upwind:
         # shift vector on the interior selects the bias pointwise
-        k = pd.k
-        beta_int = [
-            np.tile(
-                patches[S.BETA[d], :, k : k + r, k : k + r, k : k + r],
-                (S.NUM_VARS, 1, 1, 1),
-            )
-            for d in range(3)
-        ]
-        adv = np.empty_like(d1)
+        # (broadcast over the variable axis)
+        adv_base = buf("adv", (3,) + shape)
         for d in range(3):
-            adv[:, d] = pd.d1_upwind(flat, h_flat, d, beta_int[d]).reshape(
-                (S.NUM_VARS,) + shape
-            )
+            beta_int = patches[S.BETA[d], :, k : k + r, k : k + r, k : k + r]
+            pd.d1_upwind(patches, h_arr, d, beta_int, out=adv_base[d])
+        adv = np.swapaxes(adv_base, 0, 1)
     else:
         adv = d1
 
-    flat2 = patches[_S2].reshape(len(_S2) * n, P, P, P)
-    h_flat2 = np.tile(h_arr, len(_S2)) if h_arr.ndim else h_arr
-    d2 = np.empty((len(_S2), 6) + shape)
+    src2 = buf("s2", (len(_S2), n, P, P, P))
+    np.take(patches, _S2, axis=0, out=src2)
+    d2_base = buf("d2", (6, len(_S2)) + shape[1:])
     for q, (a, b) in enumerate(_SYM_PAIRS):
-        d2[:, q] = pd.d2_mixed(flat2, h_flat2, a, b).reshape(
-            (len(_S2),) + shape
-        )
+        pd.d2_mixed(src2, h_arr, a, b, out=d2_base[q])
+    d2 = np.swapaxes(d2_base, 0, 1)
 
-    ko = pd.ko_all(flat, h_flat).reshape((S.NUM_VARS,) + shape)
+    ko = pd.ko_all(patches, h_arr, out=buf("ko", shape))
 
     return Derivs(d1=d1, adv=adv, d2=d2, ko=ko)
 
@@ -316,12 +324,13 @@ def algebraic_rhs_exprs(get, d1, adv, d2, params) -> list:
 
 
 def evaluate_algebraic(
-    values: np.ndarray, derivs: Derivs, params: BSSNParams
+    values: np.ndarray, derivs: Derivs, params: BSSNParams, out=None
 ) -> np.ndarray:
     """Reference (hand-vectorised NumPy) evaluation of the A component.
 
     ``values`` holds the 24 variables on patch interiors, shape
-    ``(24, n, r, r, r)``.
+    ``(24, n, r, r, r)``; ``out`` (same shape) receives the result when
+    given.
     """
     chi_floored = np.maximum(values[S.CHI], params.chi_floor)
 
@@ -331,7 +340,7 @@ def evaluate_algebraic(
     exprs = algebraic_rhs_exprs(
         get, derivs.first, derivs.advective, derivs.second, params
     )
-    rhs = np.empty_like(values)
+    rhs = np.empty_like(values) if out is None else out
     for v, e in enumerate(exprs):
         rhs[v] = e
     return rhs

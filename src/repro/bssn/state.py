@@ -37,6 +37,10 @@ GT = (GT0, GT1, GT2)
 GT_SYM = (GT11, GT12, GT13, GT22, GT23, GT33)
 AT_SYM = (AT11, AT12, AT13, AT22, AT23, AT33)
 
+#: contiguous slices of the symmetric blocks (zero-copy views of the state)
+GT_SYM_SLICE = slice(GT11, GT33 + 1)
+AT_SYM_SLICE = slice(AT11, AT33 + 1)
+
 #: map (i, j) with i,j in 0..2 -> flat symmetric index 0..5
 SYM_IDX = np.array([[0, 1, 2], [1, 3, 4], [2, 4, 5]], dtype=np.int64)
 

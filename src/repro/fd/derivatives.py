@@ -1,18 +1,32 @@
 """Vectorised application of FD stencils to octant patches.
 
-Patches are arrays of shape ``(n_oct, P, P, P)`` with ``P = r + 2k``
+Patches are arrays of shape ``(..., n_oct, P, P, P)`` with ``P = r + 2k``
 (paper §III-C: r = 7, k = 3).  Applying a 7-point stencil along one axis
 consumes the padding on that axis; the helpers below return derivatives on
 the ``r^3`` interior, matching what the GPU RHS kernel computes into
 thread-local storage (Fig. 9).
 
-All functions are allocation-conscious: they accumulate shifted views
-(never copies of the input) into a single output array.
+Two execution strategies:
+
+* **fused** (default) — the stencil is one contraction over a
+  sliding-window view (``np.einsum`` over the tap axis): the input is
+  read once per tap but the output is written exactly once and *no*
+  per-tap temporary is materialised.  This is the Python analogue of the
+  paper's fused GPU derivative kernels and is ~2x faster than the tap
+  loop at BSSN batch sizes.
+* **taps** (``fused=False``) — the legacy accumulation loop
+  ``out += w_j * u[view]``, kept as the pre-workspace baseline for the
+  hot-path benchmark.
+
+All entry points accept ``out=`` so a solver workspace can route every
+derivative into a preallocated buffer; a duck-typed buffer ``pool``
+(see :class:`repro.perf.BufferPool`) supplies internal scratch.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from .stencils import (
     D1_CENTERED_4,
@@ -27,23 +41,39 @@ from .stencils import (
 )
 
 
-def _h_factor(h, h_power: int, ndim: int):
+def _h_factor(h, h_power: int):
     """Scale factor 1/h^p for scalar h, or a broadcastable per-octant
-    array for h of shape (n,) against arrays of shape (n, ...)."""
+    array for h of shape (n,) against arrays of shape (..., n, X, Y, Z)
+    (the octant axis is -4)."""
     h = np.asarray(h, dtype=np.float64)
     if h.ndim == 0:
         return float(h) ** (-h_power)
-    return h.reshape((-1,) + (1,) * (ndim - 1)) ** (-h_power)
+    return h.reshape((-1,) + (1,) * 3) ** (-h_power)
+
+
+def _dense_kernel(stencil: Stencil) -> np.ndarray | None:
+    """Stencil weights as a dense tap vector (offset-ordered), or None
+    if the offsets are not contiguous."""
+    off = stencil.offsets
+    if not np.array_equal(off, np.arange(off.min(), off.max() + 1)):
+        return None
+    return stencil.weights
 
 
 def apply_stencil(
-    u: np.ndarray, stencil: Stencil, h, axis: int, out: np.ndarray | None = None
+    u: np.ndarray,
+    stencil: Stencil,
+    h,
+    axis: int,
+    out: np.ndarray | None = None,
+    *,
+    fused: bool = True,
 ) -> np.ndarray:
     """Apply a 1-D stencil along ``axis``; the output is shorter by the
     stencil width along that axis (other axes unchanged).
 
     ``h`` may be a scalar or a per-octant array of shape ``(n,)`` when
-    ``u`` has shape ``(n, ...)`` (mixed-level batches).
+    ``u`` has an octant axis at position -4 (mixed-level batches).
     """
     n = u.shape[axis]
     left, right = stencil.left, stencil.right
@@ -56,22 +86,35 @@ def apply_stencil(
         hf = None
     else:
         w = stencil.weights
-        hf = _h_factor(h_arr, stencil.h_power, u.ndim)
+        hf = _h_factor(h_arr, stencil.h_power)
     out_shape = list(u.shape)
     out_shape[axis] = m
-    if out is None:
-        out = np.zeros(out_shape, dtype=u.dtype)
+    if out is not None and list(out.shape) != out_shape:
+        raise ValueError("out has wrong shape")
+
+    kernel = _dense_kernel(stencil) if fused else None
+    if kernel is not None:
+        # fused: one contraction over the tap axis of a sliding window —
+        # output written once, no per-tap temporaries
+        if h_arr.ndim == 0:
+            kernel = stencil.scale(float(h_arr))
+        if out is None:
+            out = np.empty(out_shape, dtype=u.dtype)
+        win = sliding_window_view(u, left + right + 1, axis=axis)
+        np.einsum("...w,w->...", win, kernel, out=out)
     else:
-        if list(out.shape) != out_shape:
-            raise ValueError("out has wrong shape")
-        out[...] = 0.0
-    src = [slice(None)] * u.ndim
-    for off, wj in zip(stencil.offsets, w):
-        if wj == 0.0:
-            continue
-        s = int(off) + left
-        src[axis] = slice(s, s + m)
-        out += wj * u[tuple(src)]
+        # legacy tap loop: accumulate shifted views
+        if out is None:
+            out = np.zeros(out_shape, dtype=u.dtype)
+        else:
+            out[...] = 0.0
+        src = [slice(None)] * u.ndim
+        for off, wj in zip(stencil.offsets, w):
+            if wj == 0.0:
+                continue
+            s = int(off) + left
+            src[axis] = slice(s, s + m)
+            out += wj * u[tuple(src)]
     if hf is not None:
         out *= hf
     return out
@@ -86,16 +129,22 @@ def _interior(u: np.ndarray, k: int, axes: tuple[int, ...]) -> np.ndarray:
 
 
 class PatchDerivatives:
-    """Derivative operators for padded patches ``(n, P, P, P)``.
+    """Derivative operators for padded patches ``(..., n, P, P, P)``.
 
-    Axis convention: array index order is ``[oct, z, y, x]`` (C order, x
-    fastest) — derivative direction 0/1/2 = x/y/z maps to array axes
-    3/2/1.
+    Axis convention: array index order is ``[..., oct, z, y, x]``
+    (C order, x fastest) — derivative direction 0/1/2 = x/y/z maps to
+    array axes -1/-2/-3.  Any number of leading batch axes is allowed
+    (e.g. the 24 BSSN variables), so a whole chunk's derivatives run as
+    one stencil sweep without flattening copies.
+
+    ``fused`` selects the einsum sliding-window kernels (default) vs the
+    legacy tap loop; ``pool`` (duck-typed, ``get(name, shape, dtype)``)
+    supplies reusable scratch for composed/upwind stencils, and every
+    public method takes ``out=``.
     """
 
-    AXIS = {0: 3, 1: 2, 2: 1}
-
-    def __init__(self, k: int = 3, order: int = 6):
+    def __init__(self, k: int = 3, order: int = 6, *, fused: bool = True,
+                 pool=None):
         if order == 6:
             self._d1s, self._d2s, self._kos = (
                 D1_CENTERED_6, D2_CENTERED_6, KO_DISS_6,
@@ -108,12 +157,26 @@ class PatchDerivatives:
             raise ValueError("order must be 4 or 6")
         self.order = order
         self.k = k
+        self.fused = fused
+        self.pool = pool
+
+    # -- helpers ---------------------------------------------------------
+    def _axis(self, u: np.ndarray, direction: int) -> int:
+        return u.ndim - 1 - direction
+
+    def _spatial(self, u: np.ndarray) -> tuple[int, int, int]:
+        return (u.ndim - 3, u.ndim - 2, u.ndim - 1)
 
     def _check(self, u: np.ndarray) -> None:
-        if u.ndim != 4:
-            raise ValueError("patches must have shape (n, P, P, P)")
-        if min(u.shape[1:]) <= 2 * self.k:
+        if u.ndim < 4:
+            raise ValueError("patches must have shape (..., n, P, P, P)")
+        if min(u.shape[-3:]) <= 2 * self.k:
             raise ValueError("patch too small for padding width")
+
+    def _tmp(self, name: str, shape, dtype=np.float64) -> np.ndarray:
+        if self.pool is None:
+            return np.empty(shape, dtype=dtype)
+        return self.pool.get(f"pd.{name}", tuple(shape), dtype)
 
     def _crop(self, d: np.ndarray, left: int, n_in: int, ax: int) -> np.ndarray:
         """Crop a stencil output to the r-point interior window when the
@@ -126,67 +189,111 @@ class PatchDerivatives:
         sl[ax] = slice(start, start + m_int)
         return d[tuple(sl)]
 
-    def d1(self, u: np.ndarray, h: float, direction: int) -> np.ndarray:
+    def _sweep(self, u, stencil, h, direction, out, name):
+        """One stencil sweep on the interior, handling the narrow-stencil
+        crop; writes into ``out`` when given."""
+        ax = self._axis(u, direction)
+        other = tuple(a for a in self._spatial(u) if a != ax)
+        v = _interior(u, self.k, other)
+        m_sten = v.shape[ax] - stencil.left - stencil.right
+        m_int = u.shape[ax] - 2 * self.k
+        if m_sten == m_int:
+            return apply_stencil(v, stencil, h, ax, out=out, fused=self.fused)
+        shape = list(v.shape)
+        shape[ax] = m_sten
+        # when the caller keeps the (cropped) result, it must not alias a
+        # pooled scratch buffer that the next sweep would clobber
+        buf = np.empty(shape) if out is None else self._tmp(name, shape)
+        d = apply_stencil(v, stencil, h, ax, out=buf, fused=self.fused)
+        c = self._crop(d, stencil.left, u.shape[ax], ax)
+        if out is None:
+            return c
+        np.copyto(out, c)
+        return out
+
+    # -- operators -------------------------------------------------------
+    def d1(self, u: np.ndarray, h, direction: int,
+           out: np.ndarray | None = None) -> np.ndarray:
         """First derivative on the r^3 interior (order 6 or 4)."""
         self._check(u)
-        ax = self.AXIS[direction]
-        other = tuple(a for a in (1, 2, 3) if a != ax)
-        # crop the orthogonal axes first: ~3x less stencil work
-        d = apply_stencil(_interior(u, self.k, other), self._d1s, h, ax)
-        return self._crop(d, self._d1s.left, u.shape[ax], ax)
+        return self._sweep(u, self._d1s, h, direction, out, "d1_wide")
 
-    def d2(self, u: np.ndarray, h: float, direction: int) -> np.ndarray:
+    def d2(self, u: np.ndarray, h, direction: int,
+           out: np.ndarray | None = None) -> np.ndarray:
         """Second derivative ∂_ii on the interior."""
         self._check(u)
-        ax = self.AXIS[direction]
-        other = tuple(a for a in (1, 2, 3) if a != ax)
-        d = apply_stencil(_interior(u, self.k, other), self._d2s, h, ax)
-        return self._crop(d, self._d2s.left, u.shape[ax], ax)
+        return self._sweep(u, self._d2s, h, direction, out, "d2_wide")
 
-    def d2_mixed(self, u: np.ndarray, h: float, dir_a: int, dir_b: int) -> np.ndarray:
+    def d2_mixed(self, u: np.ndarray, h, dir_a: int, dir_b: int,
+                 out: np.ndarray | None = None) -> np.ndarray:
         """Mixed second derivative ∂_a∂_b (a != b) as composed first
         derivatives."""
         if dir_a == dir_b:
-            return self.d2(u, h, dir_a)
+            return self.d2(u, h, dir_a, out=out)
         self._check(u)
-        ax_a, ax_b = self.AXIS[dir_a], self.AXIS[dir_b]
-        other = tuple(a for a in (1, 2, 3) if a not in (ax_a, ax_b))
-        d = apply_stencil(_interior(u, self.k, other), self._d1s, h, ax_a)
+        ax_a, ax_b = self._axis(u, dir_a), self._axis(u, dir_b)
+        other = tuple(a for a in self._spatial(u) if a not in (ax_a, ax_b))
+        v = _interior(u, self.k, other)
+        shape = list(v.shape)
+        shape[ax_a] = v.shape[ax_a] - self._d1s.left - self._d1s.right
+        d = apply_stencil(
+            v, self._d1s, h, ax_a, out=self._tmp("mix1", shape),
+            fused=self.fused,
+        )
         d = self._crop(d, self._d1s.left, u.shape[ax_a], ax_a)
-        d = apply_stencil(d, self._d1s, h, ax_b)
-        return self._crop(d, self._d1s.left, u.shape[ax_b], ax_b)
+        m_sten = d.shape[ax_b] - self._d1s.left - self._d1s.right
+        m_int = u.shape[ax_b] - 2 * self.k
+        if m_sten == m_int:
+            return apply_stencil(d, self._d1s, h, ax_b, out=out,
+                                 fused=self.fused)
+        shape2 = list(d.shape)
+        shape2[ax_b] = m_sten
+        buf = np.empty(shape2) if out is None else self._tmp("mix2", shape2)
+        d2 = apply_stencil(d, self._d1s, h, ax_b, out=buf, fused=self.fused)
+        c = self._crop(d2, self._d1s.left, u.shape[ax_b], ax_b)
+        if out is None:
+            return c
+        np.copyto(out, c)
+        return out
 
-    def ko(self, u: np.ndarray, h: float, direction: int) -> np.ndarray:
+    def ko(self, u: np.ndarray, h, direction: int,
+           out: np.ndarray | None = None) -> np.ndarray:
         """Kreiss–Oliger dissipation contribution along one direction."""
         self._check(u)
-        ax = self.AXIS[direction]
-        other = tuple(a for a in (1, 2, 3) if a != ax)
-        d = apply_stencil(_interior(u, self.k, other), self._kos, h, ax)
-        return self._crop(d, self._kos.left, u.shape[ax], ax)
+        return self._sweep(u, self._kos, h, direction, out, "ko_wide")
 
-    def ko_all(self, u: np.ndarray, h: float) -> np.ndarray:
+    def ko_all(self, u: np.ndarray, h,
+               out: np.ndarray | None = None) -> np.ndarray:
         """Sum of KO dissipation along all three directions."""
-        out = self.ko(u, h, 0)
-        out += self.ko(u, h, 1)
-        out += self.ko(u, h, 2)
+        out = self.ko(u, h, 0, out=out)
+        tmp = self._tmp("ko_dir", out.shape)
+        for d in (1, 2):
+            out += self.ko(u, h, d, out=tmp)
         return out
 
     def d1_upwind(
-        self, u: np.ndarray, h: float, direction: int, beta: np.ndarray
+        self, u: np.ndarray, h, direction: int, beta: np.ndarray,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Upwind-biased first derivative chosen pointwise by sign(beta).
 
-        ``beta`` must have the interior shape ``(n, r, r, r)``.
+        ``beta`` must broadcast against the interior shape
+        ``(..., n, r, r, r)`` (e.g. ``(n, r, r, r)`` for a whole-variable
+        batch).
         """
         self._check(u)
-        ax = self.AXIS[direction]
-        other = tuple(a for a in (1, 2, 3) if a != ax)
+        ax = self._axis(u, direction)
+        other = tuple(a for a in self._spatial(u) if a != ax)
         v = _interior(u, self.k, other)
-        n = u.shape[ax]
-        m_int = n - 2 * self.k
+        m_int = u.shape[ax] - 2 * self.k
 
-        def biased(stencil):
-            d = apply_stencil(v, stencil, h, ax)
+        def biased(stencil, name):
+            shape = list(v.shape)
+            shape[ax] = v.shape[ax] - stencil.left - stencil.right
+            d = apply_stencil(
+                v, stencil, h, ax, out=self._tmp(name, shape),
+                fused=self.fused,
+            )
             # valid output index j corresponds to input index j + left;
             # the interior starts at input index k
             start = self.k - stencil.left
@@ -194,15 +301,23 @@ class PatchDerivatives:
             sl[ax] = slice(start, start + m_int)
             return d[tuple(sl)]
 
-        dpos = biased(D1_UPWIND_POS)
-        dneg = biased(D1_UPWIND_NEG)
-        return np.where(np.asarray(beta) >= 0.0, dpos, dneg)
+        dpos = biased(D1_UPWIND_POS, "upw_pos")
+        dneg = biased(D1_UPWIND_NEG, "upw_neg")
+        beta = np.asarray(beta)
+        cond = np.greater_equal(
+            beta, 0.0, out=self._tmp("upw_cond", beta.shape, np.bool_)
+        )
+        if out is None:
+            return np.where(cond, dpos, dneg)
+        np.copyto(out, dneg)
+        np.copyto(out, dpos, where=cond)
+        return out
 
-    def all_first(self, u: np.ndarray, h: float) -> list[np.ndarray]:
+    def all_first(self, u: np.ndarray, h) -> list[np.ndarray]:
         """[d/dx, d/dy, d/dz] on the interior."""
         return [self.d1(u, h, d) for d in range(3)]
 
-    def all_second(self, u: np.ndarray, h: float) -> dict[tuple[int, int], np.ndarray]:
+    def all_second(self, u: np.ndarray, h) -> dict[tuple[int, int], np.ndarray]:
         """All 6 distinct second derivatives keyed by (a, b) with a <= b."""
         out: dict[tuple[int, int], np.ndarray] = {}
         for a in range(3):

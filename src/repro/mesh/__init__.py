@@ -18,7 +18,15 @@ from .interp import (
     prolong_flops,
     prolongation_matrix_1d,
 )
-from .maps import CASE_COARSE, CASE_FINE, CASE_SAME, PlanStats, TransferGroup, TransferPlan
+from .maps import (
+    CASE_COARSE,
+    CASE_FINE,
+    CASE_SAME,
+    CoalescedScatter,
+    PlanStats,
+    TransferGroup,
+    TransferPlan,
+)
 from .octant_to_patch import (
     allocate_patches,
     extrapolate_boundary,
@@ -41,6 +49,7 @@ __all__ = [
     "shared_point_divergence",
     "CASE_FINE",
     "CASE_SAME",
+    "CoalescedScatter",
     "Mesh",
     "PlanStats",
     "TransferGroup",

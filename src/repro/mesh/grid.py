@@ -104,14 +104,19 @@ class Mesh:
 
     # -- unzip / zip -----------------------------------------------------
     def unzip(self, u: np.ndarray, out: np.ndarray | None = None, *,
-              method: str = "scatter") -> np.ndarray:
+              method: str = "scatter", coalesce: bool = False,
+              pool=None) -> np.ndarray:
         """octant-to-patch: fill padded patches (Alg. 2).
 
         ``method='scatter'`` is the paper's loop-over-octants algorithm;
         ``'gather'`` is the legacy loop-over-patches baseline.
+        ``coalesce``/``pool`` (scatter only) select the coalesced
+        fancy-index execution and a buffer arena for its staging — see
+        :func:`repro.mesh.octant_to_patch.scatter_to_patches`.
         """
         if method == "scatter":
-            return scatter_to_patches(self.plan, u, out)
+            return scatter_to_patches(self.plan, u, out, coalesce=coalesce,
+                                      pool=pool)
         if method == "gather":
             return gather_to_patches(self.plan, u, out)
         raise ValueError("method must be 'scatter' or 'gather'")

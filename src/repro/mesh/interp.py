@@ -35,12 +35,14 @@ def prolongation_matrix_1d(r: int = 7) -> np.ndarray:
     return P
 
 
-def prolong_blocks(u: np.ndarray, r: int = 7) -> np.ndarray:
+def prolong_blocks(u: np.ndarray, r: int = 7, out: np.ndarray | None = None) -> np.ndarray:
     """Upsample blocks ``(..., r, r, r)`` to ``(..., 2r-1, 2r-1, 2r-1)``.
 
     Applied once per coarse octant during the loop-over-octants scatter;
     the loop-over-patches gather instead re-does this per destination
-    (the redundancy Fig. 7 measures).
+    (the redundancy Fig. 7 measures).  ``out`` receives the contiguous
+    result when given (persistent prolongation buffer in the pooled
+    unzip).
     """
     if u.shape[-3:] != (r, r, r):
         raise ValueError(f"blocks must end in ({r},{r},{r})")
@@ -49,7 +51,10 @@ def prolong_blocks(u: np.ndarray, r: int = 7) -> np.ndarray:
     v = np.tensordot(u, P, axes=([-3], [1]))  # (..., y, x, Z)
     v = np.tensordot(v, P, axes=([-3], [1]))  # (..., x, Z, Y)
     v = np.tensordot(v, P, axes=([-3], [1]))  # (..., Z, Y, X)
-    return np.ascontiguousarray(v)
+    if out is None:
+        return np.ascontiguousarray(v)
+    np.copyto(out, v)
+    return out
 
 
 def prolong_flops(r: int = 7) -> int:

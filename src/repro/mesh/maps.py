@@ -51,6 +51,24 @@ class TransferGroup:
 
 
 @dataclass
+class CoalescedScatter:
+    """All per-group fancy indices of one plan, concatenated into flat
+    ``(octant * points)`` index arrays so the whole scatter executes as
+    (at most) two gather/scatter pairs: one from the prolongation buffer
+    (coarse sources) and one from the field itself (same + fine).
+
+    Concatenation preserves the plan's group order (coarse → same →
+    fine), so overlapping destinations resolve exactly as the sequential
+    per-group scatter does (later writes win).
+    """
+
+    coarse_src: np.ndarray  # flat indices into the (n_pro, (2r-1)^3) upsample
+    coarse_dst: np.ndarray  # flat indices into the (n, P^3) patch buffer
+    direct_src: np.ndarray  # flat indices into the (n, r^3) field
+    direct_dst: np.ndarray  # flat indices into the (n, P^3) patch buffer
+
+
+@dataclass
 class PlanStats:
     """Structural counters for the performance model (Table III, Fig. 14)."""
 
@@ -197,6 +215,48 @@ class TransferPlan:
             + ix[None, None, :]
         ).ravel()
         return dst_t, src_t
+
+    # ------------------------------------------------------------------
+    def coalesced(self) -> CoalescedScatter:
+        """Cached concatenated index arrays for the coalesced scatter."""
+        cached = getattr(self, "_coalesced", None)
+        if cached is None:
+            P3 = self.P**3
+            r3 = self.r**3
+            f3 = (2 * self.r - 1) ** 3
+            cs: list[np.ndarray] = []
+            cd: list[np.ndarray] = []
+            ds: list[np.ndarray] = []
+            dd: list[np.ndarray] = []
+            for grp in self.groups:  # already ordered coarse -> same -> fine
+                dflat = (
+                    grp.dst[:, None] * P3 + grp.dst_template[None, :]
+                ).ravel()
+                if grp.case == CASE_COARSE:
+                    rows = self.prolong_row[grp.src]
+                    cs.append(
+                        (rows[:, None] * f3 + grp.src_template[None, :]).ravel()
+                    )
+                    cd.append(dflat)
+                else:
+                    ds.append(
+                        (grp.src[:, None] * r3 + grp.src_template[None, :]).ravel()
+                    )
+                    dd.append(dflat)
+
+            def cat(parts):
+                if not parts:
+                    return np.zeros(0, dtype=np.int64)
+                return np.concatenate(parts)
+
+            cached = CoalescedScatter(
+                coarse_src=cat(cs),
+                coarse_dst=cat(cd),
+                direct_src=cat(ds),
+                direct_dst=cat(dd),
+            )
+            self._coalesced = cached
+        return cached
 
     # ------------------------------------------------------------------
     def _build_boundary(self) -> None:

@@ -9,6 +9,7 @@ extraction runs every ``extract_every`` steps.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,31 +28,52 @@ from repro.bssn import (
 from repro.bssn import state as S
 from repro.fd import PatchDerivatives
 from repro.mesh import Mesh, regrid_flags, remesh, transfer_fields
+from repro.perf import SolverWorkspace, StepProfiler
 from .rk4 import courant_dt, rk4_step
+
+#: shared disabled profiler: the hot path always goes through
+#: ``prof.phase(...)``, which returns one cached no-op context manager
+_NO_PROF = StepProfiler(enabled=False)
+_NULL = nullcontext()
 
 
 def enforce_algebraic_constraints(u: np.ndarray, chi_floor: float = 1e-6) -> None:
     """det(γ̃) = 1, tr(Ã) = 0, χ > floor, α > floor (in place).
 
     Standard moving-puncture hygiene applied after every RK stage.
+    Fully vectorised over the six symmetric slots: the metric is rescaled
+    in place through the contiguous ``GT_SYM_SLICE`` view and the
+    trace-free projection subtracts directly from ``AT_SYM_SLICE``.
     """
-    from repro.bssn.geometry import det_sym, inverse_sym, sym3x3
-
-    gt = sym3x3(u[S.GT_SYM, ...])
-    det = det_sym(gt)
-    fac = det ** (-1.0 / 3.0)
-    for m in S.GT_SYM:
-        u[m] *= fac
-    gt = sym3x3(u[S.GT_SYM, ...])
-    gtu = inverse_sym(gt)
-    At = sym3x3(u[S.AT_SYM, ...])
-    tr = 0.0
-    for i in range(3):
-        for j in range(3):
-            tr = tr + gtu[i][j] * At[i][j]
-    for i in range(3):
-        for j in range(i, 3):
-            u[S.AT_SYM[S.SYM_IDX[i, j]]] -= gt[i][j] * tr / 3.0
+    gt = u[S.GT_SYM_SLICE]  # (6, ...) view: xx xy xz yy yz zz
+    At = u[S.AT_SYM_SLICE]
+    g00, g01, g02, g11, g12, g22 = gt
+    det = (
+        g00 * (g11 * g22 - g12 * g12)
+        - g01 * (g01 * g22 - g12 * g02)
+        + g02 * (g01 * g12 - g11 * g02)
+    )
+    gt *= det ** (-1.0 / 3.0)
+    # inverse of the rescaled metric (adjugate over its determinant)
+    det = (
+        g00 * (g11 * g22 - g12 * g12)
+        - g01 * (g01 * g22 - g12 * g02)
+        + g02 * (g01 * g12 - g11 * g02)
+    )
+    inv_det = 1.0 / det
+    A00, A01, A02, A11, A12, A22 = At
+    tr3 = (inv_det / 3.0) * (
+        (g11 * g22 - g12 * g12) * A00
+        + (g00 * g22 - g02 * g02) * A11
+        + (g00 * g11 - g01 * g01) * A22
+        + 2.0
+        * (
+            (g02 * g12 - g01 * g22) * A01
+            + (g01 * g12 - g02 * g11) * A02
+            + (g01 * g02 - g00 * g12) * A12
+        )
+    )
+    At -= gt * tr3
     np.maximum(u[S.CHI], chi_floor, out=u[S.CHI])
     np.maximum(u[S.ALPHA], chi_floor, out=u[S.ALPHA])
 
@@ -83,6 +105,8 @@ class BSSNSolver:
         chunk_octants: int = 256,
         unzip_method: str = "scatter",
         algebra=None,
+        pooled: bool = True,
+        profiler: StepProfiler | None = None,
     ):
         self.mesh = mesh
         self.params = params if params is not None else BSSNParams()
@@ -92,12 +116,30 @@ class BSSNSolver:
         #: optional generated A-component kernel (repro.codegen); None
         #: uses the hand-vectorised reference
         self.algebra = algebra
+        #: pooled=True runs the zero-allocation hot path (workspace arena,
+        #: coalesced scatter, in-place RK4); False is the allocating
+        #: pre-workspace driver, kept as the benchmark baseline.  Both
+        #: produce bitwise-identical states.
+        self.pooled = bool(pooled)
+        self.profiler = profiler
         self.pd = PatchDerivatives(k=mesh.k)
         self.state: np.ndarray | None = None
         self.t = 0.0
         self.step_count = 0
         self.record = EvolutionRecord()
         self._coords = None
+        self._workspace: SolverWorkspace | None = None
+
+    def workspace(self) -> SolverWorkspace:
+        """The per-mesh workspace arena (rebuilt only after regrid)."""
+        ws = self._workspace
+        if ws is None or not ws.matches(self.mesh):
+            ws = SolverWorkspace(self.mesh, self.chunk)
+            self._workspace = ws
+            self.pd = PatchDerivatives(
+                k=self.mesh.k, pool=ws.pool if self.pooled else None
+            )
+        return ws
 
     # -- setup -----------------------------------------------------------
     def set_punctures(self, punctures: list[Puncture]) -> None:
@@ -123,34 +165,82 @@ class BSSNSolver:
         return self._coords
 
     # -- RHS ----------------------------------------------------------------
-    def full_rhs(self, u: np.ndarray, t: float) -> np.ndarray:
-        """RHS over the whole mesh: unzip once, then chunked D+A evaluation."""
+    def full_rhs(
+        self, u: np.ndarray, t: float, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """RHS over the whole mesh: unzip once, then chunked D+A evaluation.
+
+        With ``pooled=True`` every buffer (unzip patches, derivative
+        workspaces, chunk RHS) comes from the per-mesh arena, the scatter
+        runs coalesced, and the per-chunk Sommerfeld face lists are the
+        hoisted per-mesh ones; the arithmetic is identical either way.
+        """
         mesh = self.mesh
-        patches = mesh.unzip(u, method=self.unzip_method)
-        rhs = np.empty_like(u)
+        prof = self.profiler if self.profiler is not None else _NO_PROF
         n = mesh.num_octants
         k, r = mesh.k, mesh.r
+        pooled = self.pooled
+        if pooled:
+            ws = self.workspace()
+            pool = ws.pool
+            with prof.phase("unzip"):
+                patches = pool.get(
+                    "solver.patches", (S.NUM_VARS, n, mesh.P, mesh.P, mesh.P)
+                )
+                mesh.unzip(u, out=patches, method=self.unzip_method,
+                           coalesce=True, pool=pool)
+            chunks = ws.chunk_faces()
+        else:
+            pool = None
+            with prof.phase("unzip"):
+                patches = mesh.unzip(u, method=self.unzip_method)
+            bfaces = mesh.boundary_faces()
+            chunks = []
+            for lo in range(0, n, self.chunk):
+                hi = min(lo + self.chunk, n)
+                faces = [
+                    (ax, side, octs[(octs >= lo) & (octs < hi)] - lo)
+                    for ax, side, octs in bfaces
+                ]
+                chunks.append((lo, hi, [f for f in faces if len(f[2])]))
+        rhs = np.empty_like(u) if out is None else out
         coords = self.coords()
-        bfaces = mesh.boundary_faces()
-        for lo in range(0, n, self.chunk):
-            hi = min(lo + self.chunk, n)
+        for lo, hi, faces in chunks:
             pch = patches[:, lo:hi]
             h = mesh.dx[lo:hi]
-            derivs = compute_derivatives(pch, h, self.params, self.pd)
-            values = np.ascontiguousarray(pch[:, :, k : k + r, k : k + r, k : k + r])
-            algebra = self.algebra if self.algebra is not None else evaluate_algebraic
-            chunk_rhs = algebra(values, derivs, self.params)
-            chunk_rhs += self.params.ko_sigma * derivs.ko
-            faces = [
-                (ax, side, octs[(octs >= lo) & (octs < hi)] - lo)
-                for ax, side, octs in bfaces
-            ]
-            faces = [f for f in faces if len(f[2])]
+            with prof.phase("deriv"):
+                derivs = compute_derivatives(pch, h, self.params, self.pd,
+                                             pool=pool)
+            with prof.phase("zip"):
+                interior = pch[:, :, k : k + r, k : k + r, k : k + r]
+                if pooled:
+                    values = pool.get("solver.values", interior.shape)
+                    np.copyto(values, interior)
+                else:
+                    values = np.ascontiguousarray(interior)
+            with prof.phase("algebra"):
+                if self.algebra is not None:
+                    chunk_rhs = self.algebra(values, derivs, self.params)
+                elif pooled:
+                    chunk_rhs = evaluate_algebraic(
+                        values, derivs, self.params,
+                        out=pool.get("solver.chunk_rhs", values.shape),
+                    )
+                else:
+                    chunk_rhs = evaluate_algebraic(values, derivs, self.params)
+                if pooled:
+                    ko = pool.get("solver.ko_scaled", values.shape)
+                    np.multiply(derivs.ko, self.params.ko_sigma, out=ko)
+                    chunk_rhs += ko
+                else:
+                    chunk_rhs += self.params.ko_sigma * derivs.ko
             if faces:
-                apply_sommerfeld(
-                    chunk_rhs, values, derivs, coords[lo:hi], faces
-                )
-            rhs[:, lo:hi] = chunk_rhs
+                with prof.phase("boundary"):
+                    apply_sommerfeld(
+                        chunk_rhs, values, derivs, coords[lo:hi], faces
+                    )
+            with prof.phase("zip"):
+                rhs[:, lo:hi] = chunk_rhs
         return rhs
 
     # -- stepping ------------------------------------------------------------
@@ -158,13 +248,23 @@ class BSSNSolver:
         """Advance one RK4 step (with algebraic-constraint enforcement)."""
         if self.state is None:
             raise RuntimeError("no initial data set")
+        prof = self.profiler
+        if prof is not None:
+            prof.begin_step()
+        work = None
+        if self.pooled:
+            work = self.workspace().rk4(self.state.shape, self.state.dtype)
         self.state = rk4_step(
             self.full_rhs,
             self.state,
             self.t,
             self.dt,
             post_stage=enforce_algebraic_constraints,
+            work=work,
+            profiler=prof,
         )
+        if prof is not None:
+            prof.end_step()
         self.t += self.dt
         self.step_count += 1
 
@@ -223,10 +323,11 @@ class BSSNSolver:
             values = np.ascontiguousarray(pch[:, :, k : k + r, k : k + r, k : k + r])
             con = compute_constraints(values, derivs, self.params)
             for name, arr in con.items():
-                acc.setdefault(name, []).append(arr.reshape(arr.shape[0], -1)
-                                                if arr.ndim > 4 else arr.ravel())
+                # flatten exactly once; the reduce below concatenates the
+                # already-flat parts directly
+                acc.setdefault(name, []).append(arr.reshape(-1))
         for name, parts in acc.items():
-            flat = np.concatenate([p.ravel() for p in parts])
+            flat = np.concatenate(parts)
             norms[f"{name}_l2"] = float(np.sqrt(np.mean(flat**2)))
             norms[f"{name}_linf"] = float(np.abs(flat).max())
         return norms

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Callable
 
 import numpy as np
@@ -10,32 +11,88 @@ import numpy as np
 RK4_A = (0.0, 0.5, 0.5, 1.0)
 RK4_B = (1.0 / 6.0, 1.0 / 3.0, 1.0 / 3.0, 1.0 / 6.0)
 
+_NULL = nullcontext()
+
 
 def rk4_step(
-    rhs: Callable[[np.ndarray, float], np.ndarray],
+    rhs: Callable[..., np.ndarray],
     u: np.ndarray,
     t: float,
     dt: float,
     *,
     post_stage: Callable[[np.ndarray], None] | None = None,
+    work=None,
+    profiler=None,
 ) -> np.ndarray:
     """One classic RK4 step; ``post_stage`` (e.g. algebraic-constraint
     enforcement) is applied to every intermediate stage state and to the
-    result."""
-    k1 = rhs(u, t)
-    u2 = u + (0.5 * dt) * k1
+    result.
+
+    With ``work`` (a :class:`repro.perf.RK4Workspace`) the step runs in
+    place: ``rhs`` must then accept ``out=`` and the stage arrays, the
+    k-accumulator, and the returned state all live in the workspace's
+    preallocated buffers (AXPY phase of Alg. 1, zero allocations).  The
+    in-place path performs the identical sequence of elementwise
+    operations as the allocating path, so results are bitwise equal.
+    ``profiler`` (a :class:`repro.perf.StepProfiler`) times the RK
+    arithmetic under its ``axpy`` phase.
+    """
+    axpy = profiler.phase("axpy") if profiler is not None else _NULL
+
+    if work is None:
+        k1 = rhs(u, t)
+        with axpy:
+            u2 = u + (0.5 * dt) * k1
+        if post_stage is not None:
+            post_stage(u2)
+        k2 = rhs(u2, t + 0.5 * dt)
+        with axpy:
+            u3 = u + (0.5 * dt) * k2
+        if post_stage is not None:
+            post_stage(u3)
+        k3 = rhs(u3, t + 0.5 * dt)
+        with axpy:
+            u4 = u + dt * k3
+        if post_stage is not None:
+            post_stage(u4)
+        k4 = rhs(u4, t + dt)
+        with axpy:
+            out = u + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        if post_stage is not None:
+            post_stage(out)
+        return out
+
+    # -- pooled in-place path (same operation order → bitwise identical)
+    k, ksum, stage, scratch = work.k, work.ksum, work.stage, work.scratch
+    out = work.out_for(u)
+
+    rhs(u, t, out=ksum)  # ksum = k1
+    with axpy:
+        np.multiply(ksum, 0.5 * dt, out=scratch)
+        np.add(u, scratch, out=stage)  # u2
     if post_stage is not None:
-        post_stage(u2)
-    k2 = rhs(u2, t + 0.5 * dt)
-    u3 = u + (0.5 * dt) * k2
+        post_stage(stage)
+    rhs(stage, t + 0.5 * dt, out=k)  # k2
+    with axpy:
+        np.multiply(k, 2.0, out=scratch)
+        np.add(ksum, scratch, out=ksum)  # k1 + 2 k2
+        np.multiply(k, 0.5 * dt, out=scratch)
+        np.add(u, scratch, out=stage)  # u3
     if post_stage is not None:
-        post_stage(u3)
-    k3 = rhs(u3, t + 0.5 * dt)
-    u4 = u + dt * k3
+        post_stage(stage)
+    rhs(stage, t + 0.5 * dt, out=k)  # k3
+    with axpy:
+        np.multiply(k, 2.0, out=scratch)
+        np.add(ksum, scratch, out=ksum)  # + 2 k3
+        np.multiply(k, dt, out=scratch)
+        np.add(u, scratch, out=stage)  # u4
     if post_stage is not None:
-        post_stage(u4)
-    k4 = rhs(u4, t + dt)
-    out = u + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+        post_stage(stage)
+    rhs(stage, t + dt, out=k)  # k4
+    with axpy:
+        np.add(ksum, k, out=ksum)  # + k4
+        np.multiply(ksum, dt / 6.0, out=scratch)
+        np.add(u, scratch, out=out)
     if post_stage is not None:
         post_stage(out)
     return out

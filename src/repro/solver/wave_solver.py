@@ -16,6 +16,7 @@ Fig. 21's overlay.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -23,9 +24,13 @@ import numpy as np
 
 from repro.fd import PatchDerivatives
 from repro.mesh import Mesh, regrid_flags, remesh, transfer_fields
+from repro.perf import SolverWorkspace, StepProfiler
 from .rk4 import courant_dt, rk4_step
 
 PHI, PI = 0, 1
+
+_NO_PROF = StepProfiler(enabled=False)
+_NULL = nullcontext()
 
 
 @dataclass
@@ -55,6 +60,8 @@ class WaveSolver:
         source: Callable[[np.ndarray, float], np.ndarray] | None = None,
         chunk_octants: int = 512,
         unzip_method: str = "scatter",
+        pooled: bool = True,
+        profiler: StepProfiler | None = None,
     ):
         self.mesh = mesh
         self.speed = speed
@@ -63,11 +70,27 @@ class WaveSolver:
         self.source = source
         self.chunk = chunk_octants
         self.unzip_method = unzip_method
+        #: pooled=True is the zero-allocation hot path; False the
+        #: allocating pre-workspace baseline (identical results)
+        self.pooled = bool(pooled)
+        self.profiler = profiler
         self.pd = PatchDerivatives(k=mesh.k)
         self.state = mesh.allocate(2)
         self.t = 0.0
         self.step_count = 0
         self._coords = None
+        self._workspace: SolverWorkspace | None = None
+
+    def workspace(self) -> SolverWorkspace:
+        """The per-mesh workspace arena (rebuilt only after regrid)."""
+        ws = self._workspace
+        if ws is None or not ws.matches(self.mesh):
+            ws = SolverWorkspace(self.mesh, self.chunk)
+            self._workspace = ws
+            self.pd = PatchDerivatives(
+                k=self.mesh.k, pool=ws.pool if self.pooled else None
+            )
+        return ws
 
     @property
     def dt(self) -> float:
@@ -80,30 +103,94 @@ class WaveSolver:
             self._coords = self.mesh.coordinates()
         return self._coords
 
-    def full_rhs(self, u: np.ndarray, t: float) -> np.ndarray:
-        """RHS of (φ, π) over the whole mesh (unzip + stencils + source)."""
+    def full_rhs(
+        self, u: np.ndarray, t: float, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """RHS of (φ, π) over the whole mesh (unzip + stencils + source).
+
+        With ``pooled=True`` all patch/derivative/boundary buffers come
+        from the per-mesh arena and the scatter runs coalesced — the
+        arithmetic (and hence the result, bitwise) is identical.
+        """
         mesh = self.mesh
-        patches = mesh.unzip(u, method=self.unzip_method)
-        rhs = np.empty_like(u)
+        prof = self.profiler if self.profiler is not None else _NO_PROF
         n = mesh.num_octants
         k, r = mesh.k, mesh.r
+        pooled = self.pooled
+        if pooled:
+            pool = self.workspace().pool
+            with prof.phase("unzip"):
+                patches = pool.get("solver.patches", (2, n, mesh.P, mesh.P, mesh.P))
+                mesh.unzip(u, out=patches, method=self.unzip_method,
+                           coalesce=True, pool=pool)
+        else:
+            pool = None
+            with prof.phase("unzip"):
+                patches = mesh.unzip(u, method=self.unzip_method)
+        rhs = np.empty_like(u) if out is None else out
         coords = self.coords()
         for lo in range(0, n, self.chunk):
             hi = min(lo + self.chunk, n)
             h = mesh.dx[lo:hi]
             phi_p = patches[PHI, lo:hi]
             pi_p = patches[PI, lo:hi]
-            lap = self.pd.d2(phi_p, h, 0)
-            lap += self.pd.d2(phi_p, h, 1)
-            lap += self.pd.d2(phi_p, h, 2)
-            rhs[PHI, lo:hi] = pi_p[:, k : k + r, k : k + r, k : k + r]
-            rhs[PI, lo:hi] = self.speed**2 * lap
-            if self.source is not None:
-                rhs[PI, lo:hi] += self.source(coords[lo:hi], t)
-            rhs[PHI, lo:hi] += self.ko_sigma * self.pd.ko_all(phi_p, h)
-            rhs[PI, lo:hi] += self.ko_sigma * self.pd.ko_all(pi_p, h)
-        self._apply_sommerfeld(rhs, u, patches, coords)
+            shape = (hi - lo, r, r, r)
+            with prof.phase("deriv"):
+                if pooled:
+                    lap = self.pd.d2(phi_p, h, 0, out=pool.get("wave.lap", shape))
+                    tmp = pool.get("wave.d2_dir", shape)
+                    lap += self.pd.d2(phi_p, h, 1, out=tmp)
+                    lap += self.pd.d2(phi_p, h, 2, out=tmp)
+                    ko_phi = self.pd.ko_all(phi_p, h, out=pool.get("wave.ko_phi", shape))
+                    ko_pi = self.pd.ko_all(pi_p, h, out=pool.get("wave.ko_pi", shape))
+                else:
+                    lap = self.pd.d2(phi_p, h, 0)
+                    lap += self.pd.d2(phi_p, h, 1)
+                    lap += self.pd.d2(phi_p, h, 2)
+                    ko_phi = self.pd.ko_all(phi_p, h)
+                    ko_pi = self.pd.ko_all(pi_p, h)
+            with prof.phase("zip"):
+                rhs[PHI, lo:hi] = pi_p[:, k : k + r, k : k + r, k : k + r]
+            with prof.phase("algebra"):
+                if pooled:
+                    np.multiply(lap, self.speed**2, out=rhs[PI, lo:hi])
+                    ko_phi *= self.ko_sigma
+                    ko_pi *= self.ko_sigma
+                    if self.source is not None:
+                        rhs[PI, lo:hi] += self.source(coords[lo:hi], t)
+                    rhs[PHI, lo:hi] += ko_phi
+                    rhs[PI, lo:hi] += ko_pi
+                else:
+                    rhs[PI, lo:hi] = self.speed**2 * lap
+                    if self.source is not None:
+                        rhs[PI, lo:hi] += self.source(coords[lo:hi], t)
+                    rhs[PHI, lo:hi] += self.ko_sigma * ko_phi
+                    rhs[PI, lo:hi] += self.ko_sigma * ko_pi
+        with prof.phase("boundary"):
+            self._apply_sommerfeld(rhs, u, patches, coords)
         return rhs
+
+    def _boundary_geometry(self):
+        """Hoisted per-mesh boundary invariants: face lists, the union of
+        boundary octants, its row lookup, the doubled spacing array and
+        the clipped point radii (recomputed only on regrid)."""
+        mesh = self.mesh
+        if self.pooled:
+            cache = self.workspace().cache
+            geo = cache.get("sommerfeld")
+            if geo is not None:
+                return geo
+        faces = mesh.boundary_faces()
+        octs_all = mesh.boundary_octants()
+        row = np.full(mesh.num_octants, -1, dtype=np.int64)
+        row[octs_all] = np.arange(len(octs_all))
+        h2 = np.tile(mesh.dx[octs_all], 2)
+        rr = np.linalg.norm(self.coords(), axis=-1)
+        np.maximum(rr, 1e-12, out=rr)
+        geo = (faces, octs_all, row, h2, rr)
+        if self.pooled:
+            self.workspace().cache["sommerfeld"] = geo
+        return geo
 
     def _apply_sommerfeld(self, rhs, u, patches, coords) -> None:
         """Outgoing-wave condition ∂_t u = −(x·∇u)/r − u/r on the faces.
@@ -112,22 +199,27 @@ class WaveSolver:
         and sliced per face.
         """
         mesh = self.mesh
-        faces = mesh.boundary_faces()
+        faces, octs_all, row, h2, rr = self._boundary_geometry()
         if not faces:
             return
-        octs_all = mesh.boundary_octants()
-        row = np.full(mesh.num_octants, -1, dtype=np.int64)
-        row[octs_all] = np.arange(len(octs_all))
         P = mesh.P
-        sub = patches[:, octs_all].reshape(2 * len(octs_all), P, P, P)
-        h2 = np.tile(mesh.dx[octs_all], 2)
-        grads = [
-            self.pd.d1(sub, h2, d).reshape(2, len(octs_all), mesh.r, mesh.r, mesh.r)
-            for d in range(3)
-        ]
-        rr = np.linalg.norm(coords, axis=-1)
-        rr = np.maximum(rr, 1e-12)
+        nb = len(octs_all)
         rsz = mesh.r
+        if self.pooled:
+            pool = self.workspace().pool
+            sub_buf = pool.get("wave.sub", (2, nb, P, P, P))
+            np.take(patches, octs_all, axis=1, out=sub_buf)
+            sub = sub_buf.reshape(2 * nb, P, P, P)
+            gbuf = pool.get("wave.grads", (3, 2, nb, rsz, rsz, rsz))
+            for d in range(3):
+                self.pd.d1(sub, h2, d, out=gbuf[d].reshape(2 * nb, rsz, rsz, rsz))
+            grads = gbuf
+        else:
+            sub = patches[:, octs_all].reshape(2 * nb, P, P, P)
+            grads = [
+                self.pd.d1(sub, h2, d).reshape(2, nb, rsz, rsz, rsz)
+                for d in range(3)
+            ]
         for axis, side, octs in faces:
             sl: list = [slice(None)] * 4
             arr_axis = {0: 3, 1: 2, 2: 1}[axis]
@@ -142,7 +234,16 @@ class WaveSolver:
 
     def step(self) -> None:
         """Advance one RK4 step."""
-        self.state = rk4_step(self.full_rhs, self.state, self.t, self.dt)
+        prof = self.profiler
+        if prof is not None:
+            prof.begin_step()
+        work = None
+        if self.pooled:
+            work = self.workspace().rk4(self.state.shape, self.state.dtype)
+        self.state = rk4_step(self.full_rhs, self.state, self.t, self.dt,
+                              work=work, profiler=prof)
+        if prof is not None:
+            prof.end_step()
         self.t += self.dt
         self.step_count += 1
 

@@ -70,6 +70,43 @@ class TestScatter:
         with pytest.raises(ValueError):
             mesh.unzip(u, method="bogus")
 
+    def test_out_buffer_fully_overwritten(self, mesh):
+        """unzip(out=...) into a NaN-poisoned reused buffer is
+        byte-identical to a fresh unzip — every patch point is written."""
+        rng = np.random.default_rng(21)
+        u = rng.normal(size=(2, mesh.num_octants, 7, 7, 7))
+        ref = mesh.unzip(u)
+        buf = np.full_like(ref, np.nan)
+        got = mesh.unzip(u, out=buf)
+        assert got is buf
+        assert np.array_equal(ref, got)
+
+    def test_coalesced_scatter_byte_identical(self, mesh):
+        """The coalesced fancy-index scatter matches the per-group
+        scatter bitwise, and gather_to_patches to roundoff."""
+        from repro.mesh import gather_to_patches
+
+        rng = np.random.default_rng(22)
+        u = rng.normal(size=(mesh.num_octants, 7, 7, 7))
+        ref = mesh.unzip(u)
+        got = mesh.unzip(u, out=np.full_like(ref, np.nan), coalesce=True)
+        assert np.array_equal(ref, got)
+        gat = gather_to_patches(mesh.plan, u)
+        assert np.allclose(ref, gat, rtol=0, atol=1e-12)
+
+    def test_coalesced_scatter_with_pool_reuses_buffers(self, mesh):
+        from repro.perf import BufferPool
+
+        pool = BufferPool()
+        rng = np.random.default_rng(23)
+        u = rng.normal(size=(mesh.num_octants, 7, 7, 7))
+        ref = mesh.unzip(u)
+        out = np.empty_like(ref)
+        assert np.array_equal(mesh.unzip(u, out=out, coalesce=True, pool=pool), ref)
+        misses = pool.misses
+        assert np.array_equal(mesh.unzip(u, out=out, coalesce=True, pool=pool), ref)
+        assert pool.misses == misses  # second unzip allocates nothing
+
     def test_shape_validation(self, mesh):
         with pytest.raises(ValueError):
             mesh.unzip(np.zeros((5, 7, 7, 7)))
