@@ -1,6 +1,28 @@
-"""Resolution and cost estimators (Tables I and IV) and catalog tools."""
+"""Static analysis of the reproduction's hot path — plus resolution and
+cost estimators (Tables I and IV) and catalog tools.
 
+The static-analysis side (``python -m repro.analysis``) has three legs:
+
+* :mod:`.dataflow`  — exact dataflow verification of generated kernel
+  schedules, cross-checked against the register-allocation model;
+* :mod:`.aliasing`  — runtime buffer-aliasing audit of one pooled RK4
+  step (arena leases, phases, RHS in/out overlap);
+* :mod:`.alloclint` — AST lint enforcing the zero-allocation discipline
+  on every function registered via :func:`repro.perf.hot_path`.
+"""
+
+from .aliasing import AliasReport, AuditedPool, AliasAuditor, audit_solver_step
+from .alloclint import lint_function, lint_hot_paths
 from .catalog import CatalogEntry, WaveformCatalog, build_model_catalog
+from .dataflow import (
+    DataflowReport,
+    Finding,
+    live_intervals,
+    peak_live,
+    verify_schedule,
+    verify_spec,
+    verify_variant,
+)
 
 from .convergence import (
     ConvergenceResult,
@@ -19,8 +41,21 @@ from .cost_model import (
 from .resolution import PAPER_TABLE1, Table1Row, table1, table1_row
 
 __all__ = [
+    "AliasAuditor",
+    "AliasReport",
+    "AuditedPool",
     "CatalogEntry",
+    "DataflowReport",
+    "Finding",
     "PAPER_TABLE1",
+    "audit_solver_step",
+    "lint_function",
+    "lint_hot_paths",
+    "live_intervals",
+    "peak_live",
+    "verify_schedule",
+    "verify_spec",
+    "verify_variant",
     "WaveformCatalog",
     "build_model_catalog",
     "ConvergenceResult",

@@ -1,0 +1,173 @@
+"""``python -m repro.analysis`` — the static-analysis gate.
+
+Runs the three analysis legs and prints a human report:
+
+* **dataflow** — verify all three codegen variants' schedules (plus the
+  emitted CUDA source against the verifier's symbol table);
+* **aliasing** — audit one pooled RK4 step of a WaveSolver and a
+  BSSNSolver on a small uniform mesh;
+* **lint**     — the hot-path allocation lint over every registered
+  function.
+
+``--strict`` exits nonzero when any finding (error or warning) is
+reported, which is how CI gates on it; ``--json`` writes the full
+machine-readable report for artifact upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+SECTIONS = ("dataflow", "aliasing", "lint")
+
+
+def _run_dataflow(report: dict, variants: list[str]) -> int:
+    from repro.codegen import CudaValidationError, emit_cuda, get_kernel_spec
+    from .dataflow import verify_spec
+
+    print("== dataflow: kernel-schedule verification ==")
+    num = 0
+    entries = []
+    for variant in variants:
+        spec = get_kernel_spec(variant)
+        rep = verify_spec(spec)
+        entry = rep.to_dict()
+        try:
+            emit_cuda(spec)  # emit_cuda validates the source internally
+            entry["cuda_validated"] = True
+        except CudaValidationError as exc:
+            entry["cuda_validated"] = False
+            entry["cuda_error"] = str(exc)
+            num += 1
+        entries.append(entry)
+        num += len(rep.findings)
+        status = "ok" if rep.ok and entry["cuda_validated"] else "FAIL"
+        print(
+            f"  {variant:14s} {rep.num_statements:5d} stmts  "
+            f"live {rep.max_live:3d} (on-demand {rep.max_live_ondemand:3d})  "
+            f"cuda {'ok' if entry['cuda_validated'] else 'FAIL'}  "
+            f"{rep.verify_time * 1e3:7.1f} ms  [{status}]"
+        )
+        for f in rep.findings:
+            print(f"    {f.severity}: {f.kind} at {f.location}: {f.message}")
+    report["dataflow"] = entries
+    return num
+
+
+def _run_aliasing(report: dict) -> int:
+    import numpy as np
+
+    from repro.bssn import Puncture
+    from repro.mesh import Mesh
+    from repro.octree import LinearOctree
+    from repro.solver import BSSNSolver, WaveSolver
+    from .aliasing import audit_solver_step
+
+    print("== aliasing: pooled RK4 step audit ==")
+
+    wave = WaveSolver(Mesh(LinearOctree.uniform(2)), pooled=True)
+    c = wave.coords()
+    wave.state[0] = np.exp(-(c**2).sum(axis=-1))
+    wave.state[1] = 0.0
+    wave.step()  # warm the arena so the audit sees the steady state
+
+    bssn = BSSNSolver(Mesh(LinearOctree.uniform(2)), pooled=True)
+    bssn.set_punctures([Puncture(mass=1.0, position=np.array([0.1, 0.0, 0.0]))])
+    bssn.step()
+
+    num = 0
+    entries = []
+    for solver in (wave, bssn):
+        rep = audit_solver_step(solver)
+        entries.append(rep.to_dict())
+        num += len(rep.findings)
+        print(
+            f"  {rep.label:12s} {len(rep.events):4d} leases  "
+            f"{rep.num_rhs_calls} RHS calls  {rep.num_buffers:3d} buffers  "
+            f"{rep.pool_nbytes / 1e6:6.1f} MB arena  "
+            f"phases {','.join(rep.phases_seen())}  "
+            f"[{'ok' if rep.ok else 'FAIL'}]"
+        )
+        for f in rep.findings:
+            print(f"    {f.severity}: {f.kind}: {f.message}")
+    report["aliasing"] = entries
+    return num
+
+
+def _run_lint(report: dict) -> int:
+    from .alloclint import lint_hot_paths
+
+    print("== lint: hot-path allocation discipline ==")
+    findings, stats = lint_hot_paths()
+    print(
+        f"  {stats['functions_checked']} hot functions, "
+        f"{stats['pragma_exemptions']} alloc-ok exemptions  "
+        f"[{'ok' if not findings else 'FAIL'}]"
+    )
+    for f in findings:
+        print(f"    {f.severity}: {f.kind} at {f.location}: {f.message}")
+    report["lint"] = {
+        "stats": stats,
+        "findings": [f.to_dict() for f in findings],
+    }
+    return len(findings)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis of the kernel schedules and hot path.",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero if any finding is reported",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the full report as JSON"
+    )
+    parser.add_argument(
+        "--section", action="append", choices=SECTIONS,
+        help="run only the given section(s); default: all",
+    )
+    parser.add_argument(
+        "--variants", nargs="+", metavar="V",
+        help="codegen variants to verify (default: all three)",
+    )
+    args = parser.parse_args(argv)
+
+    sections = tuple(args.section) if args.section else SECTIONS
+    if args.variants is None:
+        from repro.codegen import VARIANTS
+
+        variants = list(VARIANTS)
+    else:
+        variants = args.variants
+
+    t0 = time.perf_counter()
+    report: dict = {"sections": list(sections)}
+    total = 0
+    if "dataflow" in sections:
+        total += _run_dataflow(report, variants)
+    if "aliasing" in sections:
+        total += _run_aliasing(report)
+    if "lint" in sections:
+        total += _run_lint(report)
+    elapsed = time.perf_counter() - t0
+    report["total_findings"] = total
+    report["elapsed"] = elapsed
+
+    print(f"== {total} finding(s) in {elapsed:.2f} s ==")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"report written to {args.json}")
+    if args.strict and total:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -11,7 +11,6 @@ readable and each temporary a flat contiguous array.
 
 from __future__ import annotations
 
-import numpy as np
 
 from .state import SYM_IDX
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.fd import PatchDerivatives
+from repro.perf import hot_path
 from . import state as S
 from .geometry import (
     christoffel_conformal,
@@ -29,7 +30,6 @@ from .geometry import (
     raise_two,
     ricci_chi,
     ricci_conformal,
-    sym3x3,
     trace_free,
 )
 
@@ -90,6 +90,7 @@ class Derivs:
         return self.d2[_S2_POS[var], _PAIR_POS[key]]
 
 
+@hot_path
 def compute_derivatives(
     patches: np.ndarray,
     h,
@@ -120,7 +121,7 @@ def compute_derivatives(
 
     def buf(name, shp):
         if pool is None:
-            return np.empty(shp)
+            return np.empty(shp)  # alloc-ok: poolless fallback
         return pool.get(f"rhs.{name}", shp)
 
     # direction-major storage keeps each sweep's destination contiguous;
@@ -323,6 +324,7 @@ def algebraic_rhs_exprs(get, d1, adv, d2, params) -> list:
     return rhs
 
 
+@hot_path
 def evaluate_algebraic(
     values: np.ndarray, derivs: Derivs, params: BSSNParams, out=None
 ) -> np.ndarray:
@@ -330,17 +332,18 @@ def evaluate_algebraic(
 
     ``values`` holds the 24 variables on patch interiors, shape
     ``(24, n, r, r, r)``; ``out`` (same shape) receives the result when
-    given.
+    given.  The expression evaluation itself allocates (it is the
+    readable reference; the generated kernels are the fused form).
     """
-    chi_floored = np.maximum(values[S.CHI], params.chi_floor)
+    chi_floored = np.maximum(values[S.CHI], params.chi_floor)  # alloc-ok
 
     def get(var):
         return chi_floored if var == S.CHI else values[var]
 
-    exprs = algebraic_rhs_exprs(
+    exprs = algebraic_rhs_exprs(  # alloc-ok: reference expression tree
         get, derivs.first, derivs.advective, derivs.second, params
     )
-    rhs = np.empty_like(values) if out is None else out
+    rhs = np.empty_like(values) if out is None else out  # alloc-ok: fallback
     for v, e in enumerate(exprs):
         rhs[v] = e
     return rhs

@@ -1,5 +1,6 @@
 """SymPy-based RHS code generation (paper §IV-B, Table II, Figs. 10–11)."""
 
+from .cuda_emit import CudaValidationError, emit_cuda, validate_cuda_source
 from .equations import rhs_operation_count, symbolic_rhs
 from .generators import (
     VARIANTS,
@@ -23,6 +24,7 @@ from .regalloc import (
 
 __all__ = [
     "DEFAULT_BUDGET",
+    "CudaValidationError",
     "ExprDag",
     "KernelSpec",
     "SpillStats",
@@ -31,7 +33,9 @@ __all__ = [
     "analyze_schedule",
     "build_dag",
     "compile_kernel",
+    "emit_cuda",
     "emit_source",
+    "validate_cuda_source",
     "generate_binary_reduce",
     "generate_staged_cse",
     "generate_sympygr",

@@ -13,7 +13,6 @@ from functools import lru_cache
 
 import sympy as sp
 
-from repro.bssn import state as S
 from repro.bssn.rhs import algebraic_rhs_exprs
 from .symbols import (
     SymbolicParams,

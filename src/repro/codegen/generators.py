@@ -17,7 +17,7 @@ reference ``evaluate_algebraic`` and must agree with it to roundoff.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
 
 import numpy as np
@@ -26,7 +26,7 @@ from sympy.printing.numpy import NumPyPrinter
 
 from repro.bssn import state as S
 from .equations import symbolic_rhs
-from .graph import ExprDag, build_dag, dfs_schedule, line_graph_schedule
+from .graph import ExprDag, build_dag, dfs_schedule
 from .regalloc import Statement
 
 VARIANTS = ("sympygr", "binary-reduce", "staged-cse")

@@ -28,6 +28,8 @@ from __future__ import annotations
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.perf import hot_path
+
 from .stencils import (
     D1_CENTERED_4,
     D1_CENTERED_6,
@@ -60,6 +62,7 @@ def _dense_kernel(stencil: Stencil) -> np.ndarray | None:
     return stencil.weights
 
 
+@hot_path
 def apply_stencil(
     u: np.ndarray,
     stencil: Stencil,
@@ -99,13 +102,13 @@ def apply_stencil(
         if h_arr.ndim == 0:
             kernel = stencil.scale(float(h_arr))
         if out is None:
-            out = np.empty(out_shape, dtype=u.dtype)
+            out = np.empty(out_shape, dtype=u.dtype)  # alloc-ok: out=None fallback
         win = sliding_window_view(u, left + right + 1, axis=axis)
         np.einsum("...w,w->...", win, kernel, out=out)
     else:
         # legacy tap loop: accumulate shifted views
         if out is None:
-            out = np.zeros(out_shape, dtype=u.dtype)
+            out = np.zeros(out_shape, dtype=u.dtype)  # alloc-ok: out=None fallback
         else:
             out[...] = 0.0
         src = [slice(None)] * u.ndim
@@ -114,7 +117,7 @@ def apply_stencil(
                 continue
             s = int(off) + left
             src[axis] = slice(s, s + m)
-            out += wj * u[tuple(src)]
+            out += wj * u[tuple(src)]  # alloc-ok: legacy tap-loop baseline
     if hf is not None:
         out *= hf
     return out
@@ -173,9 +176,10 @@ class PatchDerivatives:
         if min(u.shape[-3:]) <= 2 * self.k:
             raise ValueError("patch too small for padding width")
 
+    @hot_path
     def _tmp(self, name: str, shape, dtype=np.float64) -> np.ndarray:
         if self.pool is None:
-            return np.empty(shape, dtype=dtype)
+            return np.empty(shape, dtype=dtype)  # alloc-ok: poolless fallback
         return self.pool.get(f"pd.{name}", tuple(shape), dtype)
 
     def _crop(self, d: np.ndarray, left: int, n_in: int, ax: int) -> np.ndarray:
@@ -189,6 +193,7 @@ class PatchDerivatives:
         sl[ax] = slice(start, start + m_int)
         return d[tuple(sl)]
 
+    @hot_path
     def _sweep(self, u, stencil, h, direction, out, name):
         """One stencil sweep on the interior, handling the narrow-stencil
         crop; writes into ``out`` when given."""
@@ -203,7 +208,7 @@ class PatchDerivatives:
         shape[ax] = m_sten
         # when the caller keeps the (cropped) result, it must not alias a
         # pooled scratch buffer that the next sweep would clobber
-        buf = np.empty(shape) if out is None else self._tmp(name, shape)
+        buf = np.empty(shape) if out is None else self._tmp(name, shape)  # alloc-ok
         d = apply_stencil(v, stencil, h, ax, out=buf, fused=self.fused)
         c = self._crop(d, stencil.left, u.shape[ax], ax)
         if out is None:
@@ -212,18 +217,21 @@ class PatchDerivatives:
         return out
 
     # -- operators -------------------------------------------------------
+    @hot_path
     def d1(self, u: np.ndarray, h, direction: int,
            out: np.ndarray | None = None) -> np.ndarray:
         """First derivative on the r^3 interior (order 6 or 4)."""
         self._check(u)
         return self._sweep(u, self._d1s, h, direction, out, "d1_wide")
 
+    @hot_path
     def d2(self, u: np.ndarray, h, direction: int,
            out: np.ndarray | None = None) -> np.ndarray:
         """Second derivative ∂_ii on the interior."""
         self._check(u)
         return self._sweep(u, self._d2s, h, direction, out, "d2_wide")
 
+    @hot_path
     def d2_mixed(self, u: np.ndarray, h, dir_a: int, dir_b: int,
                  out: np.ndarray | None = None) -> np.ndarray:
         """Mixed second derivative ∂_a∂_b (a != b) as composed first
@@ -248,7 +256,7 @@ class PatchDerivatives:
                                  fused=self.fused)
         shape2 = list(d.shape)
         shape2[ax_b] = m_sten
-        buf = np.empty(shape2) if out is None else self._tmp("mix2", shape2)
+        buf = np.empty(shape2) if out is None else self._tmp("mix2", shape2)  # alloc-ok
         d2 = apply_stencil(d, self._d1s, h, ax_b, out=buf, fused=self.fused)
         c = self._crop(d2, self._d1s.left, u.shape[ax_b], ax_b)
         if out is None:
@@ -256,12 +264,14 @@ class PatchDerivatives:
         np.copyto(out, c)
         return out
 
+    @hot_path
     def ko(self, u: np.ndarray, h, direction: int,
            out: np.ndarray | None = None) -> np.ndarray:
         """Kreiss–Oliger dissipation contribution along one direction."""
         self._check(u)
         return self._sweep(u, self._kos, h, direction, out, "ko_wide")
 
+    @hot_path
     def ko_all(self, u: np.ndarray, h,
                out: np.ndarray | None = None) -> np.ndarray:
         """Sum of KO dissipation along all three directions."""
@@ -271,6 +281,7 @@ class PatchDerivatives:
             out += self.ko(u, h, d, out=tmp)
         return out
 
+    @hot_path
     def d1_upwind(
         self, u: np.ndarray, h, direction: int, beta: np.ndarray,
         out: np.ndarray | None = None,
@@ -308,7 +319,7 @@ class PatchDerivatives:
             beta, 0.0, out=self._tmp("upw_cond", beta.shape, np.bool_)
         )
         if out is None:
-            return np.where(cond, dpos, dneg)
+            return np.where(cond, dpos, dneg)  # alloc-ok: out=None fallback
         np.copyto(out, dneg)
         np.copyto(out, dpos, where=cond)
         return out

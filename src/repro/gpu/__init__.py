@@ -90,6 +90,7 @@ __all__ = [
     "paper_o_a",
     "patch_to_octant_stats",
     "place_kernel",
+    "roofline_curve",
     "qa_algebraic",
     "ql_rhs",
     "qu_octant_to_patch",

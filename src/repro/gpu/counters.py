@@ -8,7 +8,6 @@ BSSN RHS evaluation (Table III, Fig. 14).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.mesh import TransferPlan, paper_interp_ops
 from .perfmodel import KernelStats

@@ -8,7 +8,6 @@ array, and the evolution clock.  Stored as a single compressed ``.npz``.
 from __future__ import annotations
 
 import json
-import pathlib
 
 import numpy as np
 

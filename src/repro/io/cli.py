@@ -19,7 +19,6 @@ import numpy as np
 def tpid_main(argv=None) -> int:
     """Initial-data 'solve': evaluate puncture data on the configured grid
     and report constraint residuals (the analogue of running tpid)."""
-    from repro.bssn import compute_constraints, compute_derivatives
     from .params import RunConfig, preset
 
     ap = argparse.ArgumentParser(prog="repro-tpid", description=tpid_main.__doc__)

@@ -18,7 +18,7 @@ instead of a Python loop over ~20 n pairs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

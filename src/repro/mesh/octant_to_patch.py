@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.perf import hot_path
+
 from .interp import extrapolation_matrix_1d, prolong_blocks
-from .maps import CASE_COARSE, CASE_FINE, CASE_SAME, TransferPlan
+from .maps import CASE_COARSE, TransferPlan
 
 
 def _flat_views(plan: TransferPlan, u: np.ndarray, patches: np.ndarray):
@@ -41,6 +43,7 @@ def allocate_patches(plan: TransferPlan, lead: tuple[int, ...] = (), *,
     return np.zeros(lead + (len(plan.tree), P, P, P), dtype=dtype)
 
 
+@hot_path
 def _pooled_take(flat: np.ndarray, idx: np.ndarray, pool, name: str) -> np.ndarray:
     """Gather ``flat[..., idx]``, routed through a pooled buffer when given."""
     if pool is None:
@@ -50,6 +53,7 @@ def _pooled_take(flat: np.ndarray, idx: np.ndarray, pool, name: str) -> np.ndarr
     return buf
 
 
+@hot_path
 def scatter_to_patches(
     plan: TransferPlan,
     u: np.ndarray,
@@ -69,7 +73,7 @@ def scatter_to_patches(
     gather staging so the hot path allocates nothing.
     """
     if out is None:
-        out = allocate_patches(plan, u.shape[:-4], dtype=u.dtype)
+        out = allocate_patches(plan, u.shape[:-4], dtype=u.dtype)  # alloc-ok
     uf, pf = _flat_views(plan, u, out)
     lead = u.shape[:-4]
 
@@ -87,7 +91,7 @@ def scatter_to_patches(
                 out=pool.get("unzip.prolong", lead + (n_pro, f, f, f), u.dtype),
             )
         else:
-            up = prolong_blocks(u[..., plan.prolong_octs, :, :, :], plan.r)
+            up = prolong_blocks(u[..., plan.prolong_octs, :, :, :], plan.r)  # alloc-ok
         upf = up.reshape(lead + (n_pro, f**3))
     else:
         upf = None

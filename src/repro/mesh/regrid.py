@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.octree import LinearOctree, Octants, balance
+from repro.octree import LinearOctree, balance
 from .grid import Mesh
 from .interp import child_block, parent_from_children
 from .wavelet import field_wavelets

@@ -9,7 +9,7 @@ what the halo-exchange accounting and the communication model consume.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

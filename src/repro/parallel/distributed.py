@@ -20,7 +20,6 @@ import numpy as np
 
 from repro.fd import PatchDerivatives
 from repro.mesh import Mesh
-from repro.mesh.octant_to_patch import extrapolate_boundary
 from repro.octree import Partition
 from repro.solver.rk4 import RK4_B, courant_dt
 from .comm import SimComm

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.mesh import Mesh
-from repro.octree import Partition, build_adjacency
+from repro.octree import Partition
 from .comm import SimComm
 
 

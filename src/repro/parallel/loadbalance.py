@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.gpu.counters import BYTES, derivative_flops_per_point
+from repro.gpu.counters import derivative_flops_per_point
 from repro.mesh import CASE_COARSE, Mesh
 from repro.octree import Partition, partition_octree
 

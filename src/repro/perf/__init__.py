@@ -1,14 +1,18 @@
 """Hot-path performance infrastructure: buffer arenas, per-mesh solver
 workspaces, and the per-phase step profiler (paper Alg. 1 / Fig. 20)."""
 
+from .hotpath import HOT_REGISTRY, hot_path, registered_hot_paths
 from .pool import BufferPool
 from .profiler import PHASES, StepProfiler
 from .workspace import RK4Workspace, SolverWorkspace
 
 __all__ = [
+    "HOT_REGISTRY",
     "PHASES",
     "BufferPool",
     "RK4Workspace",
     "SolverWorkspace",
     "StepProfiler",
+    "hot_path",
+    "registered_hot_paths",
 ]

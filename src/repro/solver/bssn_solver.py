@@ -21,14 +21,13 @@ from repro.bssn import (
     compute_constraints,
     compute_derivatives,
     compute_psi4,
-    constraint_norms,
     evaluate_algebraic,
     mesh_puncture_state,
 )
 from repro.bssn import state as S
 from repro.fd import PatchDerivatives
 from repro.mesh import Mesh, regrid_flags, remesh, transfer_fields
-from repro.perf import SolverWorkspace, StepProfiler
+from repro.perf import SolverWorkspace, StepProfiler, hot_path
 from .rk4 import courant_dt, rk4_step
 
 #: shared disabled profiler: the hot path always goes through
@@ -37,43 +36,100 @@ _NO_PROF = StepProfiler(enabled=False)
 _NULL = nullcontext()
 
 
-def enforce_algebraic_constraints(u: np.ndarray, chi_floor: float = 1e-6) -> None:
+@hot_path
+def enforce_algebraic_constraints(
+    u: np.ndarray, chi_floor: float = 1e-6, *, pool=None
+) -> None:
     """det(γ̃) = 1, tr(Ã) = 0, χ > floor, α > floor (in place).
 
     Standard moving-puncture hygiene applied after every RK stage.
     Fully vectorised over the six symmetric slots: the metric is rescaled
     in place through the contiguous ``GT_SYM_SLICE`` view and the
     trace-free projection subtracts directly from ``AT_SYM_SLICE``.
+
+    Every intermediate goes through an ``out=`` ufunc in the same
+    operand order as the naive expression (only commutations of IEEE
+    multiplies, which are bitwise-exact), so results are identical with
+    or without a ``pool``; with one, the five calls per RK4 step reuse
+    six scratch buffers instead of allocating ~20 full-state temporaries
+    each.
     """
+    shp = u.shape[1:]
+
+    def buf(name):
+        if pool is None:
+            return np.empty(shp)  # alloc-ok: poolless fallback
+        return pool.get(f"enforce.{name}", shp)
+
     gt = u[S.GT_SYM_SLICE]  # (6, ...) view: xx xy xz yy yz zz
     At = u[S.AT_SYM_SLICE]
     g00, g01, g02, g11, g12, g22 = gt
-    det = (
-        g00 * (g11 * g22 - g12 * g12)
-        - g01 * (g01 * g22 - g12 * g02)
-        + g02 * (g01 * g12 - g11 * g02)
-    )
-    gt *= det ** (-1.0 / 3.0)
+    ta, tb, det = buf("ta"), buf("tb"), buf("det")
+
+    def det_into(out):
+        # out = g00 (g11 g22 − g12²) − g01 (g01 g22 − g12 g02)
+        #       + g02 (g01 g12 − g11 g02)
+        np.multiply(g11, g22, out=ta)
+        np.multiply(g12, g12, out=tb)
+        np.subtract(ta, tb, out=ta)
+        np.multiply(g00, ta, out=out)
+        np.multiply(g01, g22, out=ta)
+        np.multiply(g12, g02, out=tb)
+        np.subtract(ta, tb, out=ta)
+        np.multiply(g01, ta, out=ta)
+        np.subtract(out, ta, out=out)
+        np.multiply(g01, g12, out=ta)
+        np.multiply(g11, g02, out=tb)
+        np.subtract(ta, tb, out=ta)
+        np.multiply(g02, ta, out=ta)
+        np.add(out, ta, out=out)
+
+    det_into(det)
+    np.power(det, -1.0 / 3.0, out=ta)
+    gt *= ta
     # inverse of the rescaled metric (adjugate over its determinant)
-    det = (
-        g00 * (g11 * g22 - g12 * g12)
-        - g01 * (g01 * g22 - g12 * g02)
-        + g02 * (g01 * g12 - g11 * g02)
-    )
-    inv_det = 1.0 / det
+    det_into(det)
+    np.divide(1.0, det, out=det)  # det now holds 1/det
     A00, A01, A02, A11, A12, A22 = At
-    tr3 = (inv_det / 3.0) * (
-        (g11 * g22 - g12 * g12) * A00
-        + (g00 * g22 - g02 * g02) * A11
-        + (g00 * g11 - g01 * g01) * A22
-        + 2.0
-        * (
-            (g02 * g12 - g01 * g22) * A01
-            + (g01 * g12 - g02 * g11) * A02
-            + (g01 * g02 - g00 * g12) * A12
-        )
-    )
-    At -= gt * tr3
+    acc, acc2 = buf("acc"), buf("acc2")
+    # tr3 = (1/(3 det)) (cof_ij Ã_ij): diagonal cofactor terms ...
+    np.multiply(g11, g22, out=ta)
+    np.multiply(g12, g12, out=tb)
+    np.subtract(ta, tb, out=ta)
+    np.multiply(ta, A00, out=acc)
+    np.multiply(g00, g22, out=ta)
+    np.multiply(g02, g02, out=tb)
+    np.subtract(ta, tb, out=ta)
+    np.multiply(ta, A11, out=ta)
+    np.add(acc, ta, out=acc)
+    np.multiply(g00, g11, out=ta)
+    np.multiply(g01, g01, out=tb)
+    np.subtract(ta, tb, out=ta)
+    np.multiply(ta, A22, out=ta)
+    np.add(acc, ta, out=acc)
+    # ... plus twice the off-diagonal ones
+    np.multiply(g02, g12, out=ta)
+    np.multiply(g01, g22, out=tb)
+    np.subtract(ta, tb, out=ta)
+    np.multiply(ta, A01, out=acc2)
+    np.multiply(g01, g12, out=ta)
+    np.multiply(g02, g11, out=tb)
+    np.subtract(ta, tb, out=ta)
+    np.multiply(ta, A02, out=ta)
+    np.add(acc2, ta, out=acc2)
+    np.multiply(g01, g02, out=ta)
+    np.multiply(g00, g12, out=tb)
+    np.subtract(ta, tb, out=ta)
+    np.multiply(ta, A12, out=ta)
+    np.add(acc2, ta, out=acc2)
+    np.multiply(acc2, 2.0, out=acc2)
+    np.add(acc, acc2, out=acc)
+    np.divide(det, 3.0, out=ta)
+    np.multiply(ta, acc, out=acc)  # acc = tr3
+    sym = pool.get("enforce.sym", (6,) + shp) if pool is not None \
+        else np.empty((6,) + shp)  # alloc-ok: poolless fallback
+    np.multiply(gt, acc, out=sym)
+    At -= sym
     np.maximum(u[S.CHI], chi_floor, out=u[S.CHI])
     np.maximum(u[S.ALPHA], chi_floor, out=u[S.ALPHA])
 
@@ -165,6 +221,7 @@ class BSSNSolver:
         return self._coords
 
     # -- RHS ----------------------------------------------------------------
+    @hot_path
     def full_rhs(
         self, u: np.ndarray, t: float, out: np.ndarray | None = None
     ) -> np.ndarray:
@@ -193,7 +250,7 @@ class BSSNSolver:
         else:
             pool = None
             with prof.phase("unzip"):
-                patches = mesh.unzip(u, method=self.unzip_method)
+                patches = mesh.unzip(u, method=self.unzip_method)  # alloc-ok
             bfaces = mesh.boundary_faces()
             chunks = []
             for lo in range(0, n, self.chunk):
@@ -203,7 +260,7 @@ class BSSNSolver:
                     for ax, side, octs in bfaces
                 ]
                 chunks.append((lo, hi, [f for f in faces if len(f[2])]))
-        rhs = np.empty_like(u) if out is None else out
+        rhs = np.empty_like(u) if out is None else out  # alloc-ok: fallback
         coords = self.coords()
         for lo, hi, faces in chunks:
             pch = patches[:, lo:hi]
@@ -217,7 +274,7 @@ class BSSNSolver:
                     values = pool.get("solver.values", interior.shape)
                     np.copyto(values, interior)
                 else:
-                    values = np.ascontiguousarray(interior)
+                    values = np.ascontiguousarray(interior)  # alloc-ok: baseline
             with prof.phase("algebra"):
                 if self.algebra is not None:
                     chunk_rhs = self.algebra(values, derivs, self.params)
@@ -227,7 +284,7 @@ class BSSNSolver:
                         out=pool.get("solver.chunk_rhs", values.shape),
                     )
                 else:
-                    chunk_rhs = evaluate_algebraic(values, derivs, self.params)
+                    chunk_rhs = evaluate_algebraic(values, derivs, self.params)  # alloc-ok
                 if pooled:
                     ko = pool.get("solver.ko_scaled", values.shape)
                     np.multiply(derivs.ko, self.params.ko_sigma, out=ko)
@@ -252,14 +309,21 @@ class BSSNSolver:
         if prof is not None:
             prof.begin_step()
         work = None
+        post_stage = enforce_algebraic_constraints
         if self.pooled:
-            work = self.workspace().rk4(self.state.shape, self.state.dtype)
+            ws = self.workspace()
+            work = ws.rk4(self.state.shape, self.state.dtype)
+            pool = ws.pool
+
+            def post_stage(s, _pool=pool):
+                enforce_algebraic_constraints(s, pool=_pool)
+
         self.state = rk4_step(
             self.full_rhs,
             self.state,
             self.t,
             self.dt,
-            post_stage=enforce_algebraic_constraints,
+            post_stage=post_stage,
             work=work,
             profiler=prof,
         )

@@ -7,6 +7,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.perf import hot_path
+
 #: classic RK4 Butcher tableau
 RK4_A = (0.0, 0.5, 0.5, 1.0)
 RK4_B = (1.0 / 6.0, 1.0 / 3.0, 1.0 / 3.0, 1.0 / 6.0)
@@ -14,6 +16,7 @@ RK4_B = (1.0 / 6.0, 1.0 / 3.0, 1.0 / 3.0, 1.0 / 6.0)
 _NULL = nullcontext()
 
 
+@hot_path
 def rk4_step(
     rhs: Callable[..., np.ndarray],
     u: np.ndarray,
@@ -42,22 +45,22 @@ def rk4_step(
     if work is None:
         k1 = rhs(u, t)
         with axpy:
-            u2 = u + (0.5 * dt) * k1
+            u2 = u + (0.5 * dt) * k1  # alloc-ok: allocating baseline path
         if post_stage is not None:
             post_stage(u2)
         k2 = rhs(u2, t + 0.5 * dt)
         with axpy:
-            u3 = u + (0.5 * dt) * k2
+            u3 = u + (0.5 * dt) * k2  # alloc-ok: allocating baseline path
         if post_stage is not None:
             post_stage(u3)
         k3 = rhs(u3, t + 0.5 * dt)
         with axpy:
-            u4 = u + dt * k3
+            u4 = u + dt * k3  # alloc-ok: allocating baseline path
         if post_stage is not None:
             post_stage(u4)
         k4 = rhs(u4, t + dt)
         with axpy:
-            out = u + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)
+            out = u + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)  # alloc-ok
         if post_stage is not None:
             post_stage(out)
         return out

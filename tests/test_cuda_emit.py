@@ -5,7 +5,13 @@ import re
 import pytest
 
 from repro.codegen import VARIANTS, get_kernel_spec
-from repro.codegen.cuda_emit import LAUNCH_BOUNDS, deriv_input_order, emit_cuda
+from repro.codegen.cuda_emit import (
+    LAUNCH_BOUNDS,
+    CudaValidationError,
+    deriv_input_order,
+    emit_cuda,
+    validate_cuda_source,
+)
 
 
 @pytest.fixture(scope="module", params=VARIANTS)
@@ -58,3 +64,46 @@ def test_variants_differ_in_body():
     a = emit_cuda(get_kernel_spec("sympygr"))
     b = emit_cuda(get_kernel_spec("binary-reduce"))
     assert a != b
+
+
+# -- symbol-table validation ------------------------------------------------
+
+
+def test_emitted_source_validates(cuda_source):
+    """emit_cuda validates internally; re-running must also pass."""
+    _, spec, src = cuda_source
+    validate_cuda_source(spec, src)  # does not raise
+
+
+def test_validation_catches_undeclared_symbol(cuda_source):
+    _, spec, src = cuda_source
+    bad = src.replace("[pp] = ", "[pp] = bogus_undeclared + ", 1)
+    with pytest.raises(CudaValidationError, match="bogus_undeclared"):
+        validate_cuda_source(spec, bad)
+
+
+def test_validation_catches_missing_output(cuda_source):
+    _, spec, src = cuda_source
+    lines = [ln for ln in src.splitlines() if "out[0][pp]" not in ln]
+    with pytest.raises(CudaValidationError, match="never written"):
+        validate_cuda_source(spec, "\n".join(lines))
+
+
+def test_validation_catches_redeclaration(cuda_source):
+    _, spec, src = cuda_source
+    lines = src.splitlines()
+    decl = next(
+        i for i, ln in enumerate(lines)
+        if ln.strip().startswith("const double ") and " = " in ln
+        and "= d[" not in ln and "= u[" not in ln
+    )
+    lines.insert(decl + 1, lines[decl])
+    with pytest.raises(CudaValidationError, match="redeclared"):
+        validate_cuda_source(spec, "\n".join(lines))
+
+
+def test_validation_catches_symbol_not_in_schedule(cuda_source):
+    _, spec, src = cuda_source
+    extra = "    const double rogue_temp = 1.0;\n}"
+    with pytest.raises(CudaValidationError, match="symbol table"):
+        validate_cuda_source(spec, src.replace("}", extra, 1))
