@@ -128,6 +128,38 @@ def profiler_overhead(mesh: Mesh, steps: int) -> dict:
     }
 
 
+def supervised_overhead(mesh: Mesh, steps: int) -> dict:
+    """Steps/sec raw vs under ``SupervisedRun`` guards (≤5% target).
+
+    The supervisor adds one pooled state snapshot plus the health scans
+    (max|u| and det(γ̃) passes) around each step.  Raw and supervised
+    steps alternate on the *same* solver (paired measurement), so
+    machine-speed drift over the run cancels out instead of counting as
+    supervision cost; min-of-steps absorbs scheduler hiccups.
+    """
+    from repro.resilience import HealthMonitor, SupervisedRun
+
+    solver = make_solver(mesh, "pooled")
+    run = SupervisedRun(solver, monitor=HealthMonitor())
+    solver.step()  # warmup: arena + coalesced plan
+    run.step()     # warmup: snapshot + scan buffers
+    raw, supervised = [], []
+    for _ in range(max(2, steps)):
+        t0 = time.perf_counter()
+        solver.step()
+        raw.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run.step()
+        supervised.append(time.perf_counter() - t0)
+    overhead = min(supervised) / min(raw) - 1.0
+    return {
+        "raw_sec_per_step": min(raw),
+        "supervised_sec_per_step": min(supervised),
+        "overhead_frac": overhead,
+        "rollbacks": run.rollbacks,
+    }
+
+
 def run_benchmark(quick: bool = False, steps: int | None = None,
                   check_overhead: bool = True) -> dict:
     mesh = make_mesh(quick)
@@ -165,6 +197,7 @@ def run_benchmark(quick: bool = False, steps: int | None = None,
     }
     if check_overhead:
         report["profiler_overhead"] = profiler_overhead(mesh, n_steps)
+        report["supervised_overhead"] = supervised_overhead(mesh, n_steps)
     return report
 
 
@@ -198,6 +231,11 @@ def render(report: dict) -> str:
         lines.append(
             f"disabled-profiler overhead: "
             f"{report['profiler_overhead']['overhead_frac'] * 100:.2f}%"
+        )
+    if "supervised_overhead" in report:
+        lines.append(
+            f"supervised-stepping overhead (snapshot + health scan): "
+            f"{report['supervised_overhead']['overhead_frac'] * 100:.2f}%"
         )
     return "\n".join(lines)
 

@@ -1,17 +1,29 @@
 """I/O: checkpoints, parameter files, command-line drivers."""
 
-from .checkpoint import load_checkpoint, restore_solver, save_checkpoint
+from .checkpoint import (
+    CheckpointError,
+    find_latest_valid,
+    load_checkpoint,
+    restore_solver,
+    rotate_checkpoints,
+    save_checkpoint,
+    verify_checkpoint,
+)
 from .params import PRESETS, RunConfig, preset
 from .waveforms import load_modes, save_extractor, save_modes
 
 __all__ = [
     "PRESETS",
+    "CheckpointError",
     "RunConfig",
+    "find_latest_valid",
     "load_checkpoint",
     "load_modes",
+    "rotate_checkpoints",
     "save_extractor",
     "save_modes",
     "preset",
     "restore_solver",
     "save_checkpoint",
+    "verify_checkpoint",
 ]

@@ -1,0 +1,8 @@
+"""``python -m repro.io`` — checkpoint verify/info/find-latest CLI."""
+
+import sys
+
+from .cli import io_main
+
+if __name__ == "__main__":
+    sys.exit(io_main())

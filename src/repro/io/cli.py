@@ -6,11 +6,16 @@
   a parameter file (``--gpu`` switches to the generated-kernel execution
   path).
 * ``repro-bench``   — print one experiment's table (E1..E16 names).
+* ``python -m repro.io`` — checkpoint maintenance: ``checkpoint-verify``
+  (digest + balance + shape validation, exit status 0/1),
+  ``checkpoint-info`` (meta dump and shape report), ``find-latest``
+  (newest valid checkpoint in a directory, the auto-resume probe).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -84,6 +89,82 @@ def bssn_main(argv=None) -> int:
         save_checkpoint(args.checkpoint, solver)
         print(f"checkpoint written to {args.checkpoint}")
     return 0
+
+
+def _cmd_checkpoint_verify(args) -> int:
+    from .checkpoint import verify_checkpoint
+
+    report = verify_checkpoint(args.path)
+    if report["valid"]:
+        meta = report["meta"]
+        print(f"{args.path}: VALID (v{meta['version']}, "
+              f"t={meta['t']:.6g}, step {meta['step_count']}, "
+              f"{report['num_octants']} octants)")
+        if meta.get("sha256"):
+            print(f"  sha256: {meta['sha256']}")
+        return 0
+    print(f"{args.path}: INVALID — {report['reason']}")
+    return 1
+
+
+def _cmd_checkpoint_info(args) -> int:
+    from .checkpoint import verify_checkpoint
+
+    report = verify_checkpoint(args.path)
+    if not report["valid"]:
+        print(f"{args.path}: INVALID — {report['reason']}")
+        return 1
+    meta = report["meta"]
+    print(f"checkpoint {args.path}")
+    print(f"  format version : {meta['version']}"
+          + (" (migrated from v1)" if meta.get("migrated_from") else ""))
+    print(f"  t / step       : {meta['t']:.6g} / {meta['step_count']}")
+    print(f"  courant        : {meta['courant']}")
+    print(f"  octants        : {report['num_octants']}")
+    print(f"  state shape    : {tuple(report['state_shape'])} "
+          f"({report['nbytes'] / 1e6:.1f} MB)")
+    print(f"  domain         : {meta['domain']}")
+    print(f"  sha256         : {meta.get('sha256') or '(none: v1 file)'}")
+    params = meta.get("params")
+    print("  params         : "
+          + (json.dumps(params) if params else "(none: v1 file)"))
+    punctures = meta.get("punctures")
+    if punctures:
+        for pos, mass in zip(punctures["positions"], punctures["masses"]):
+            print(f"  puncture       : m={mass} at {pos}")
+    return 0
+
+
+def _cmd_find_latest(args) -> int:
+    from .checkpoint import find_latest_valid
+
+    path = find_latest_valid(args.directory)
+    if path is None:
+        print(f"no valid checkpoint in {args.directory}")
+        return 1
+    print(path)
+    return 0
+
+
+def io_main(argv=None) -> int:
+    """Checkpoint maintenance CLI (``python -m repro.io``)."""
+    ap = argparse.ArgumentParser(prog="python -m repro.io",
+                                 description=io_main.__doc__)
+    sub = ap.add_subparsers(dest="command", required=True)
+    p = sub.add_parser("checkpoint-verify",
+                       help="validate digest, balance, and shapes")
+    p.add_argument("path")
+    p.set_defaults(fn=_cmd_checkpoint_verify)
+    p = sub.add_parser("checkpoint-info",
+                       help="dump checkpoint meta and shape report")
+    p.add_argument("path")
+    p.set_defaults(fn=_cmd_checkpoint_info)
+    p = sub.add_parser("find-latest",
+                       help="print the newest valid checkpoint in a dir")
+    p.add_argument("directory")
+    p.set_defaults(fn=_cmd_find_latest)
+    args = ap.parse_args(argv)
+    return args.fn(args)
 
 
 def bench_main(argv=None) -> int:

@@ -1,8 +1,14 @@
 """Simulated-MPI substrate: communicator, halo exchange, scaling models."""
 
-from .comm import RankComm, SimComm
+from .comm import MessageTimeout, RankComm, RankDeadError, SimComm
 from .distributed import DistributedBSSNSolver, DistributedWaveSolver
-from .halo import HaloPlan, build_halo_plan, distributed_unzip, exchange_ghosts
+from .halo import (
+    HaloExchangeError,
+    HaloPlan,
+    build_halo_plan,
+    distributed_unzip,
+    exchange_ghosts,
+)
 from .loadbalance import (
     octant_work_weights,
     partition_by_work,
@@ -22,8 +28,11 @@ __all__ = [
     "DistributedBSSNSolver",
     "DistributedWaveSolver",
     "DEFAULT_SPILL_BPP",
+    "HaloExchangeError",
     "HaloPlan",
+    "MessageTimeout",
     "RankComm",
+    "RankDeadError",
     "ScalingPoint",
     "ScalingStudy",
     "SimComm",

@@ -40,6 +40,7 @@ class DistributedWaveSolver:
         courant: float = 0.25,
         ko_sigma: float = 0.1,
         source: Callable[[np.ndarray, float], np.ndarray] | None = None,
+        comm: SimComm | None = None,
     ):
         self.mesh = mesh
         self.partition = partition
@@ -47,7 +48,11 @@ class DistributedWaveSolver:
         self.courant = courant
         self.ko_sigma = ko_sigma
         self.source = source
-        self.comm = SimComm(partition.num_parts)
+        self.comm = comm if comm is not None else SimComm(partition.num_parts)
+        #: halo-exchange re-request budget (0 disables the resilient path)
+        self.halo_retries = 2
+        #: optional repro.resilience.RunJournal receiving recovery events
+        self.journal = None
         self.halo: HaloPlan = build_halo_plan(mesh, partition)
         self.pd = PatchDerivatives(k=mesh.k)
         # per-rank owned state (dof, n_local, r, r, r)
@@ -94,11 +99,27 @@ class DistributedWaveSolver:
             view[:, g] = block
         return view
 
+    # -- resilience hooks (used by repro.resilience.SupervisedRun) -----
+    def snapshot_state(self) -> list[np.ndarray]:
+        """Value copies of every rank's owned blocks."""
+        return [u.copy() for u in self.local_state]
+
+    def restore_state(self, snapshot: list[np.ndarray]) -> None:
+        """Restore rank states from a snapshot (rollback)."""
+        self.local_state = [u.copy() for u in snapshot]
+
     def _stage_rhs(self, locals_: list[np.ndarray], t: float) -> list[np.ndarray]:
         """One distributed RHS evaluation: halo exchange, then per-rank
-        unzip + stencils restricted to owned octants."""
+        unzip + stencils restricted to owned octants.  Lost or corrupted
+        ghost messages are re-requested (``halo_retries``); a dead rank
+        propagates :class:`repro.parallel.RankDeadError` to the caller,
+        which owns restart policy."""
         mesh, part = self.mesh, self.partition
-        ghosts = exchange_ghosts(self.halo, locals_, self.comm, dof=2)
+        ghosts = exchange_ghosts(
+            self.halo, locals_, self.comm, dof=2,
+            max_retries=self.halo_retries, validate=self.halo_retries > 0,
+            journal=self.journal,
+        )
         out = []
         k, r = mesh.k, mesh.r
         for rank in range(self.num_ranks):
@@ -175,7 +196,7 @@ class DistributedBSSNSolver:
     """
 
     def __init__(self, mesh: Mesh, partition: Partition, params=None,
-                 *, courant: float = 0.25):
+                 *, courant: float = 0.25, comm: SimComm | None = None):
         from repro.bssn import BSSNParams
         from repro.bssn import state as S
 
@@ -183,7 +204,9 @@ class DistributedBSSNSolver:
         self.partition = partition
         self.params = params if params is not None else BSSNParams()
         self.courant = courant
-        self.comm = SimComm(partition.num_parts)
+        self.comm = comm if comm is not None else SimComm(partition.num_parts)
+        self.halo_retries = 2
+        self.journal = None
         self.halo = build_halo_plan(mesh, partition)
         self.pd = PatchDerivatives(k=mesh.k)
         self.num_vars = S.NUM_VARS
@@ -214,6 +237,15 @@ class DistributedBSSNSolver:
         """Assemble the global state from the ranks (diagnostics)."""
         return np.concatenate(self.local_state, axis=1)
 
+    # -- resilience hooks (used by repro.resilience.SupervisedRun) -----
+    def snapshot_state(self) -> list[np.ndarray]:
+        """Value copies of every rank's owned blocks."""
+        return [u.copy() for u in self.local_state]
+
+    def restore_state(self, snapshot: list[np.ndarray]) -> None:
+        """Restore rank states from a snapshot (rollback)."""
+        self.local_state = [u.copy() for u in snapshot]
+
     def _stage_rhs(self, locals_: list[np.ndarray], t: float) -> list[np.ndarray]:
         from repro.bssn import (
             apply_sommerfeld,
@@ -222,8 +254,11 @@ class DistributedBSSNSolver:
         )
 
         mesh, part = self.mesh, self.partition
-        ghosts = exchange_ghosts(self.halo, locals_, self.comm,
-                                 dof=self.num_vars)
+        ghosts = exchange_ghosts(
+            self.halo, locals_, self.comm, dof=self.num_vars,
+            max_retries=self.halo_retries, validate=self.halo_retries > 0,
+            journal=self.journal,
+        )
         out = []
         k, r = mesh.k, mesh.r
         bfaces = mesh.boundary_faces()

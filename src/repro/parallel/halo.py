@@ -16,7 +16,11 @@ import numpy as np
 
 from repro.mesh import Mesh
 from repro.octree import Partition
-from .comm import SimComm
+from .comm import MessageTimeout, SimComm
+
+
+class HaloExchangeError(RuntimeError):
+    """A ghost block could not be obtained within the retry budget."""
 
 
 @dataclass
@@ -58,15 +62,41 @@ def build_halo_plan(mesh: Mesh, partition: Partition) -> HaloPlan:
 
 
 def exchange_ghosts(
-    plan: HaloPlan, local_fields: list[np.ndarray], comm: SimComm, dof: int
+    plan: HaloPlan,
+    local_fields: list[np.ndarray],
+    comm: SimComm,
+    dof: int,
+    *,
+    max_retries: int = 0,
+    validate: bool = False,
+    journal=None,
 ) -> list[dict[int, np.ndarray]]:
     """Run one halo exchange.
 
     ``local_fields[r]`` holds rank r's owned blocks, shape
     ``(dof, n_local, ...)`` ordered like its SFC chunk.  Returns, per
     rank, a map from global octant index to the received ghost block.
+
+    With ``max_retries > 0`` the exchange is *resilient*: a message that
+    times out, arrives mis-shaped, or (with ``validate=True``) arrives
+    carrying non-finite values is discarded and **re-requested** — the
+    sender still owns the blocks, so it simply re-posts the identical
+    payload (retransmitted traffic is counted like any other send, and
+    each recovery is recorded in the optional ``journal``).  A fault-free
+    exchange takes the exact same code path and produces bitwise-
+    identical traffic, so the accounting of clean runs is unchanged.
+    Exhausting the budget raises :class:`HaloExchangeError`; a dead peer
+    (:class:`repro.parallel.RankDeadError`) propagates to the driver,
+    which owns rank-restart policy.
     """
     part = plan.partition
+    # snapshot per-edge sequence numbers: anything at or below these is
+    # a stale duplicate from an earlier round and must be discarded
+    epoch = {
+        (src, dst): comm.edge_seq(src, dst)
+        for src in range(plan.num_ranks)
+        for dst in plan.send_lists[src]
+    } if max_retries else {}
     # post sends
     for src in range(plan.num_ranks):
         lo = part.offsets[src]
@@ -77,11 +107,55 @@ def exchange_ghosts(
     # receive
     ghosts: list[dict[int, np.ndarray]] = [dict() for _ in range(plan.num_ranks)]
     for src in range(plan.num_ranks):
+        lo = part.offsets[src]
         for dst, idx in plan.send_lists[src].items():
-            blocks = comm.rank(dst).recv(src)
+            expect_shape = (dof, len(idx)) + local_fields[src].shape[2:]
+            if not max_retries:
+                blocks = comm.rank(dst).recv(src)
+            else:
+                blocks = None
+                for attempt in range(max_retries + 1):
+                    got = _recv_current(
+                        comm, src, dst, epoch[(src, dst)],
+                        retries=1 if attempt else 0,
+                    )
+                    if (
+                        got is not None
+                        and got.shape == expect_shape
+                        and (not validate or bool(np.all(np.isfinite(got))))
+                    ):
+                        blocks = got
+                        break
+                    if attempt == max_retries:
+                        raise HaloExchangeError(
+                            f"ghost blocks from rank {src} to rank {dst} "
+                            f"lost after {max_retries} re-requests"
+                        )
+                    if journal is not None:
+                        journal.event(
+                            "halo-retry", src=int(src), dst=int(dst),
+                            attempt=attempt + 1,
+                            reason="timeout" if got is None else "corrupt",
+                        )
+                    # re-request: the sender re-posts the same payload
+                    comm.rank(src).send(dst, local_fields[src][:, idx - lo])
             for j, g in enumerate(idx):
                 ghosts[dst][int(g)] = blocks[:, j]
     return ghosts
+
+
+def _recv_current(comm, src, dst, epoch_seq, *, retries):
+    """Receive the next message on (src → dst) that belongs to the
+    current round (seq > ``epoch_seq``); stale duplicates — re-requested
+    or delayed copies from earlier rounds — are silently consumed.
+    Returns None on timeout."""
+    while True:
+        try:
+            seq, payload = comm.rank(dst).recv_tagged(src, retries=retries)
+        except MessageTimeout:
+            return None
+        if seq > epoch_seq:
+            return payload
 
 
 def distributed_unzip(

@@ -32,6 +32,7 @@ HOT_MODULES = (
     "repro.solver.rk4",
     "repro.solver.wave_solver",
     "repro.solver.bssn_solver",
+    "repro.resilience.health",
 )
 
 

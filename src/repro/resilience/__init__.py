@@ -1,0 +1,40 @@
+"""Failure semantics for long evolutions: guarded stepping with
+rollback/retry, health monitoring, deterministic fault injection, and
+the structured run journal (see DESIGN.md §8).
+
+The pieces compose: a :class:`SupervisedRun` wraps any stepping solver,
+scans each step with a :class:`HealthMonitor`, rolls back to pooled
+snapshots and retries at halved dt on failure, writes atomic rotated
+checkpoints (``repro.io.checkpoint`` format v2), auto-resumes from the
+newest valid one, and logs every recovery decision to a JSONL
+:class:`RunJournal`.  :class:`FaultInjector` / :class:`FaultyComm`
+provide the seeded fault schedules the CI smoke matrix replays.
+"""
+
+from .faults import FaultInjector, FaultyComm
+from .health import HealthMonitor, HealthReport, det_gt_drift, state_max_abs
+from .journal import RunJournal, read_journal, summarize
+from .supervisor import (
+    CHECKPOINT_FMT,
+    CHECKPOINT_GLOB,
+    EvolutionAborted,
+    RetryPolicy,
+    SupervisedRun,
+)
+
+__all__ = [
+    "CHECKPOINT_FMT",
+    "CHECKPOINT_GLOB",
+    "EvolutionAborted",
+    "FaultInjector",
+    "FaultyComm",
+    "HealthMonitor",
+    "HealthReport",
+    "RetryPolicy",
+    "RunJournal",
+    "SupervisedRun",
+    "det_gt_drift",
+    "read_journal",
+    "state_max_abs",
+    "summarize",
+]

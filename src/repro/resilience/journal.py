@@ -1,0 +1,119 @@
+"""Structured JSONL run journal.
+
+Every recovery-relevant event of a supervised evolution — rollbacks,
+retries, dt changes, checkpoints written or skipped as corrupt, halo
+re-requests, rank deaths, resumes, aborts — is appended as one JSON
+object per line.  The file is append-only and flushed per event, so a
+crashed run leaves a complete record up to the failure; the reader
+tolerates a torn final line for the same reason.
+
+The journal is the ground truth the fault-matrix CI job uploads and the
+analysis tooling consumes (:func:`summarize` gives the per-kind counts
+that pair with :class:`repro.perf.StepProfiler` summaries).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+import warnings
+
+import numpy as np
+
+
+def _jsonable(value):
+    """Coerce numpy scalars/arrays and paths into JSON-serialisable types."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, pathlib.Path):
+        return str(value)
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return value
+
+
+class RunJournal:
+    """Append-only JSONL event log (in-memory when ``path`` is None).
+
+    Events carry a monotone ``seq`` number and a wall-clock stamp; all
+    other fields are caller-supplied.  NaN/Inf floats are serialised as
+    strings (JSON has no representation for them) so the file stays
+    loadable line by line.
+    """
+
+    def __init__(self, path=None):
+        self.path = pathlib.Path(path) if path is not None else None
+        self.events: list[dict] = []
+        self._seq = 0
+        self._fh = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+
+    def event(self, kind: str, **fields) -> dict:
+        """Record one event; returns the full record."""
+        rec = {"seq": self._seq, "kind": kind, "wall": time.time()}
+        rec.update({k: _jsonable(v) for k, v in fields.items()})
+        self._seq += 1
+        self.events.append(rec)
+        if self._fh is not None:
+            self._fh.write(
+                json.dumps(rec, separators=(",", ":"), default=str) + "\n"
+            )
+            self._fh.flush()
+        return rec
+
+    def count(self, kind: str) -> int:
+        """Number of recorded events of one kind."""
+        return sum(1 for e in self.events if e["kind"] == kind)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_journal(path) -> list[dict]:
+    """Parse a JSONL journal; a torn final line (crash mid-write) is
+    skipped with a warning instead of failing the whole read."""
+    events: list[dict] = []
+    lines = pathlib.Path(path).read_text(encoding="utf-8").splitlines()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                warnings.warn(f"journal {path}: torn final line skipped")
+                continue
+            raise
+    return events
+
+
+def summarize(events: list[dict]) -> dict:
+    """Per-kind counts plus headline recovery statistics."""
+    kinds: dict[str, int] = {}
+    for e in events:
+        kinds[e.get("kind", "?")] = kinds.get(e.get("kind", "?"), 0) + 1
+    return {
+        "events": len(events),
+        "kinds": kinds,
+        "rollbacks": kinds.get("rollback", 0),
+        "halo_retries": kinds.get("halo-retry", 0),
+        "checkpoints": kinds.get("checkpoint", 0),
+        "aborted": kinds.get("abort", 0) > 0,
+    }

@@ -214,6 +214,30 @@ class BSSNSolver:
         """Global timestep (Courant-limited by the finest level)."""
         return courant_dt(self.mesh.min_dx, self.courant)
 
+    # -- resilience hooks (used by repro.resilience.SupervisedRun) -------
+    def snapshot_state(self) -> np.ndarray:
+        """Value copy of the current state into a persistent pool buffer.
+
+        The supervisor calls this every step, so with ``pooled=True`` the
+        copy lands in one reused arena buffer (no per-step allocation);
+        the returned array is overwritten by the next snapshot.
+        """
+        if self.state is None:
+            raise RuntimeError("no state to snapshot")
+        if self.pooled:
+            snap = self.workspace().pool.get(
+                "supervisor.snapshot", self.state.shape
+            )
+        else:
+            snap = np.empty_like(self.state)
+        np.copyto(snap, self.state)
+        return snap
+
+    def restore_state(self, snapshot) -> None:
+        """Copy a snapshot's values back into the live state (rollback)."""
+        snap = snapshot[0] if isinstance(snapshot, list) else snapshot
+        np.copyto(self.state, snap)
+
     def coords(self) -> np.ndarray:
         """Cached grid-point coordinates of the current mesh."""
         if self._coords is None:
