@@ -175,7 +175,9 @@ def run_benchmark(quick: bool = False, steps: int | None = None,
     bitwise = bool(np.array_equal(pooled["state"], fused["state"]))
     rel_vs_legacy = max_rel_dev(pooled["state"], legacy["state"])
 
+    summ = prof.summary()
     report = {
+        "schema": "repro-bench-hotpath-v1",
         "grid": {
             "octants": mesh.num_octants,
             "unknowns": mesh.num_points * 24,
@@ -193,7 +195,15 @@ def run_benchmark(quick: bool = False, steps: int | None = None,
             legacy["peak_alloc_mb"] / pooled["peak_alloc_mb"]
             if pooled["peak_alloc_mb"] else None
         ),
-        "profiler": prof.summary(),
+        "profiler": summ,
+        # normalised per-phase profile: what `python -m repro.telemetry
+        # compare` consumes, directly comparable against a telemetry run
+        # directory or the committed baseline
+        "telemetry_profile": {
+            "phases": {p: v["per_step"] for p, v in summ["phases"].items()},
+            "sec_per_step": summ["step_time"] / max(summ["steps"], 1),
+            "steps": summ["steps"],
+        },
     }
     if check_overhead:
         report["profiler_overhead"] = profiler_overhead(mesh, n_steps)

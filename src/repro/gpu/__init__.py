@@ -7,6 +7,7 @@ from .counters import (
     derivative_flops_per_point,
     octant_to_patch_stats,
     patch_to_octant_stats,
+    publish_kernel_stats,
     rhs_stats,
 )
 from .device import (
@@ -90,6 +91,7 @@ __all__ = [
     "paper_o_a",
     "patch_to_octant_stats",
     "place_kernel",
+    "publish_kernel_stats",
     "roofline_curve",
     "qa_algebraic",
     "ql_rhs",

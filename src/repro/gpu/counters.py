@@ -15,6 +15,23 @@ from .perfmodel import KernelStats
 BYTES = 8  # double precision
 
 
+def publish_kernel_stats(metrics, stats: KernelStats,
+                         predicted_time: float | None = None) -> None:
+    """Accumulate one kernel launch into a telemetry
+    :class:`~repro.telemetry.MetricsRegistry`.
+
+    Counters labelled by kernel name: ``gpu_flops``, ``gpu_bytes``,
+    ``gpu_launches``, and — when the §III-D model-predicted time is given
+    — ``gpu_seconds``.  This is the bridge from the virtual GPU's
+    roofline accounting to the unified run report.
+    """
+    metrics.counter("gpu_flops", kernel=stats.name).inc(stats.flops)
+    metrics.counter("gpu_bytes", kernel=stats.name).inc(stats.bytes_moved)
+    metrics.counter("gpu_launches", kernel=stats.name).inc()
+    if predicted_time is not None:
+        metrics.counter("gpu_seconds", kernel=stats.name).inc(predicted_time)
+
+
 def octant_to_patch_stats(
     plan: TransferPlan, dof: int = 24, mode: str = "scatter"
 ) -> KernelStats:

@@ -40,11 +40,24 @@ class VirtualGPU:
     machine: MachineSpec = A100
     model: str = "infinite"
     timeline: list[KernelLaunch] = field(default_factory=list)
+    #: optional repro.telemetry.TelemetrySink: every launch then lands
+    #: in the metrics registry (gpu_flops/bytes/seconds per kernel) and
+    #: as an instant on the trace timeline
+    telemetry: object = None
 
     def launch(self, stats: KernelStats) -> float:
         """Cost a kernel with the machine model and record it."""
         t = kernel_time(stats, self.machine, self.model)
         self.timeline.append(KernelLaunch(stats.name, stats, t))
+        if self.telemetry is not None:
+            from .counters import publish_kernel_stats
+
+            publish_kernel_stats(self.telemetry.metrics, stats,
+                                 predicted_time=t)
+            self.telemetry.tracer.instant(
+                "gpu.launch", "gpu",
+                {"kernel": stats.name, "predicted_s": t},
+            )
         return t
 
     def total_time(self) -> float:

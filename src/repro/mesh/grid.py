@@ -105,7 +105,7 @@ class Mesh:
     # -- unzip / zip -----------------------------------------------------
     def unzip(self, u: np.ndarray, out: np.ndarray | None = None, *,
               method: str = "scatter", coalesce: bool = False,
-              pool=None) -> np.ndarray:
+              pool=None, tracer=None) -> np.ndarray:
         """octant-to-patch: fill padded patches (Alg. 2).
 
         ``method='scatter'`` is the paper's loop-over-octants algorithm;
@@ -113,10 +113,12 @@ class Mesh:
         ``coalesce``/``pool`` (scatter only) select the coalesced
         fancy-index execution and a buffer arena for its staging — see
         :func:`repro.mesh.octant_to_patch.scatter_to_patches`.
+        ``tracer`` (a :class:`repro.telemetry.Tracer`) records the
+        prolong/scatter sub-phases as nested spans.
         """
         if method == "scatter":
             return scatter_to_patches(self.plan, u, out, coalesce=coalesce,
-                                      pool=pool)
+                                      pool=pool, tracer=tracer)
         if method == "gather":
             return gather_to_patches(self.plan, u, out)
         raise ValueError("method must be 'scatter' or 'gather'")

@@ -62,6 +62,7 @@ def scatter_to_patches(
     fill_boundary: bool = True,
     coalesce: bool = False,
     pool=None,
+    tracer=None,
 ) -> np.ndarray:
     """Loop-over-octants unzip: fill padded patches for every octant.
 
@@ -70,7 +71,9 @@ def scatter_to_patches(
     :class:`~repro.mesh.maps.CoalescedScatter` indices — byte-identical
     output, far fewer kernel launches.  ``pool`` (duck-typed
     ``get(name, shape, dtype)``) supplies the prolongation buffer and
-    gather staging so the hot path allocates nothing.
+    gather staging so the hot path allocates nothing.  ``tracer``
+    (a :class:`repro.telemetry.Tracer`) spans the prolongation and
+    scatter sub-phases on the trace timeline.
     """
     if out is None:
         out = allocate_patches(plan, u.shape[:-4], dtype=u.dtype)  # alloc-ok
@@ -79,6 +82,8 @@ def scatter_to_patches(
 
     # prolong every coarse source exactly once
     n_pro = len(plan.prolong_octs)
+    if tracer is not None:
+        tracer.begin("unzip.prolong", "mesh")
     if n_pro:
         f = 2 * plan.r - 1
         if pool is not None:
@@ -95,6 +100,9 @@ def scatter_to_patches(
         upf = up.reshape(lead + (n_pro, f**3))
     else:
         upf = None
+    if tracer is not None:
+        tracer.end()
+        tracer.begin("unzip.scatter", "mesh")
 
     if coalesce:
         co = plan.coalesced()
@@ -121,6 +129,8 @@ def scatter_to_patches(
     _copy_interior(plan, u, out)
     if fill_boundary:
         extrapolate_boundary(plan, out)
+    if tracer is not None:
+        tracer.end()
     return out
 
 

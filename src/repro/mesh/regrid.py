@@ -37,13 +37,21 @@ def regrid_flags(
     return refine, coarsen
 
 
-def remesh(mesh: Mesh, refine: np.ndarray, coarsen: np.ndarray) -> Mesh:
+def remesh(mesh: Mesh, refine: np.ndarray, coarsen: np.ndarray,
+           *, tracer=None) -> Mesh:
     """Apply flags, re-balance, and build the new mesh.
 
     Refinement is applied first; the coarsen flags (given on the old
     tree) are then re-mapped onto the surviving leaves by key so both can
-    act in a single regrid cycle.
+    act in a single regrid cycle.  ``tracer`` (a
+    :class:`repro.telemetry.Tracer`) spans the rebuild on the timeline
+    — the regrid is Alg. 1's only host/device-synchronous operation, so
+    its cost is worth seeing next to the steps it interrupts.
     """
+    if tracer is not None:
+        with tracer.span("remesh", "mesh",
+                         {"octants_before": mesh.num_octants}):
+            return remesh(mesh, refine, coarsen)
     old = mesh.tree
     tree = old.refine(refine)
     if np.asarray(coarsen, dtype=bool).any():
@@ -60,13 +68,19 @@ def remesh(mesh: Mesh, refine: np.ndarray, coarsen: np.ndarray) -> Mesh:
     return Mesh(tree, r=mesh.r, k=mesh.k)
 
 
-def transfer_fields(old: Mesh, new: Mesh, u: np.ndarray) -> np.ndarray:
+def transfer_fields(old: Mesh, new: Mesh, u: np.ndarray,
+                    *, tracer=None) -> np.ndarray:
     """Transfer field data ``(..., n_old, r, r, r)`` onto the new mesh.
 
     Same-level octants are bulk-copied; refined regions are prolonged
     (exact for degree-6 polynomials); coarsened regions are assembled by
     injection from the old children.
     """
+    if tracer is not None:
+        with tracer.span("regrid.transfer", "mesh",
+                         {"octants_old": old.num_octants,
+                          "octants_new": new.num_octants}):
+            return transfer_fields(old, new, u)
     r = old.r
     if u.shape[-4:-3] != (old.num_octants,):
         raise ValueError("field does not match old mesh")

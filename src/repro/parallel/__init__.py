@@ -13,6 +13,7 @@ from .loadbalance import (
     octant_work_weights,
     partition_by_work,
     predicted_imbalance,
+    publish_balance_metrics,
 )
 from .scaling import (
     DEFAULT_O_A,
@@ -44,4 +45,5 @@ __all__ = [
     "octant_work_weights",
     "partition_by_work",
     "predicted_imbalance",
+    "publish_balance_metrics",
 ]

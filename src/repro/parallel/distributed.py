@@ -53,6 +53,9 @@ class DistributedWaveSolver:
         self.halo_retries = 2
         #: optional repro.resilience.RunJournal receiving recovery events
         self.journal = None
+        #: optional repro.telemetry.TelemetrySink: halo exchanges are then
+        #: spanned on the trace timeline with per-edge traffic counters
+        self.telemetry = None
         self.halo: HaloPlan = build_halo_plan(mesh, partition)
         self.pd = PatchDerivatives(k=mesh.k)
         # per-rank owned state (dof, n_local, r, r, r)
@@ -115,10 +118,13 @@ class DistributedWaveSolver:
         propagates :class:`repro.parallel.RankDeadError` to the caller,
         which owns restart policy."""
         mesh, part = self.mesh, self.partition
+        tel = self.telemetry
         ghosts = exchange_ghosts(
             self.halo, locals_, self.comm, dof=2,
             max_retries=self.halo_retries, validate=self.halo_retries > 0,
             journal=self.journal,
+            tracer=tel.tracer if tel is not None else None,
+            metrics=tel.metrics if tel is not None else None,
         )
         out = []
         k, r = mesh.k, mesh.r
@@ -207,6 +213,7 @@ class DistributedBSSNSolver:
         self.comm = comm if comm is not None else SimComm(partition.num_parts)
         self.halo_retries = 2
         self.journal = None
+        self.telemetry = None
         self.halo = build_halo_plan(mesh, partition)
         self.pd = PatchDerivatives(k=mesh.k)
         self.num_vars = S.NUM_VARS
@@ -254,10 +261,13 @@ class DistributedBSSNSolver:
         )
 
         mesh, part = self.mesh, self.partition
+        tel = self.telemetry
         ghosts = exchange_ghosts(
             self.halo, locals_, self.comm, dof=self.num_vars,
             max_retries=self.halo_retries, validate=self.halo_retries > 0,
             journal=self.journal,
+            tracer=tel.tracer if tel is not None else None,
+            metrics=tel.metrics if tel is not None else None,
         )
         out = []
         k, r = mesh.k, mesh.r

@@ -70,12 +70,20 @@ def exchange_ghosts(
     max_retries: int = 0,
     validate: bool = False,
     journal=None,
+    tracer=None,
+    metrics=None,
 ) -> list[dict[int, np.ndarray]]:
     """Run one halo exchange.
 
     ``local_fields[r]`` holds rank r's owned blocks, shape
     ``(dof, n_local, ...)`` ordered like its SFC chunk.  Returns, per
     rank, a map from global octant index to the received ghost block.
+
+    ``tracer`` (a :class:`repro.telemetry.Tracer`) spans the exchange on
+    the trace timeline with message/byte totals; ``metrics`` (a
+    :class:`repro.telemetry.MetricsRegistry`) accumulates per-edge
+    ``halo_bytes`` / ``halo_messages`` / ``halo_retries`` counters —
+    retransmitted traffic is counted like any other send.
 
     With ``max_retries > 0`` the exchange is *resilient*: a message that
     times out, arrives mis-shaped, or (with ``validate=True``) arrives
@@ -89,7 +97,30 @@ def exchange_ghosts(
     (:class:`repro.parallel.RankDeadError`) propagates to the driver,
     which owns rank-restart policy.
     """
+    if tracer is None:
+        return _exchange_ghosts(plan, local_fields, comm, dof,
+                                max_retries=max_retries, validate=validate,
+                                journal=journal, metrics=metrics,
+                                traffic=None)
+    # the span must close even when the exchange fails (RankDeadError /
+    # HaloExchangeError propagate to the supervisor, which keeps running)
+    traffic = [0, 0]  # messages, bytes — filled by the impl
+    tracer.begin("halo.exchange", "comm")
+    try:
+        return _exchange_ghosts(plan, local_fields, comm, dof,
+                                max_retries=max_retries, validate=validate,
+                                journal=journal, metrics=metrics,
+                                traffic=traffic)
+    finally:
+        tracer.end({"messages": traffic[0], "bytes": traffic[1]})
+
+
+def _exchange_ghosts(
+    plan, local_fields, comm, dof, *, max_retries, validate, journal,
+    metrics, traffic,
+) -> list[dict[int, np.ndarray]]:
     part = plan.partition
+    sent_bytes = sent_msgs = 0
     # snapshot per-edge sequence numbers: anything at or below these is
     # a stale duplicate from an earlier round and must be discarded
     epoch = {
@@ -104,6 +135,13 @@ def exchange_ghosts(
         for dst, idx in plan.send_lists[src].items():
             payload = local_fields[src][:, idx - lo]
             ep.send(dst, payload)
+            sent_bytes += payload.nbytes
+            sent_msgs += 1
+            if metrics is not None:
+                metrics.counter("halo_bytes", src=int(src),
+                                dst=int(dst)).inc(payload.nbytes)
+                metrics.counter("halo_messages", src=int(src),
+                                dst=int(dst)).inc()
     # receive
     ghosts: list[dict[int, np.ndarray]] = [dict() for _ in range(plan.num_ranks)]
     for src in range(plan.num_ranks):
@@ -127,6 +165,8 @@ def exchange_ghosts(
                         blocks = got
                         break
                     if attempt == max_retries:
+                        if traffic is not None:
+                            traffic[0], traffic[1] = sent_msgs, sent_bytes
                         raise HaloExchangeError(
                             f"ghost blocks from rank {src} to rank {dst} "
                             f"lost after {max_retries} re-requests"
@@ -138,9 +178,21 @@ def exchange_ghosts(
                             reason="timeout" if got is None else "corrupt",
                         )
                     # re-request: the sender re-posts the same payload
-                    comm.rank(src).send(dst, local_fields[src][:, idx - lo])
+                    payload = local_fields[src][:, idx - lo]
+                    comm.rank(src).send(dst, payload)
+                    sent_bytes += payload.nbytes
+                    sent_msgs += 1
+                    if metrics is not None:
+                        metrics.counter("halo_retries", src=int(src),
+                                        dst=int(dst)).inc()
+                        metrics.counter("halo_bytes", src=int(src),
+                                        dst=int(dst)).inc(payload.nbytes)
+                        metrics.counter("halo_messages", src=int(src),
+                                        dst=int(dst)).inc()
             for j, g in enumerate(idx):
                 ghosts[dst][int(g)] = blocks[:, j]
+    if traffic is not None:
+        traffic[0], traffic[1] = sent_msgs, sent_bytes
     return ghosts
 
 

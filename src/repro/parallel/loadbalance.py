@@ -65,3 +65,28 @@ def predicted_imbalance(mesh: Mesh, partition: Partition,
          for r in range(partition.num_parts)]
     )
     return float(per_rank.max() / per_rank.mean())
+
+
+def publish_balance_metrics(metrics, mesh: Mesh, partition: Partition,
+                            weights: np.ndarray | None = None) -> float:
+    """Publish the partition's balance picture into a telemetry
+    :class:`~repro.telemetry.MetricsRegistry`.
+
+    Gauges: ``load_imbalance`` (max/mean predicted work),
+    ``octants_owned{rank}`` and ``rank_work{rank}`` (flop-equivalents
+    from the work model).  Returns the imbalance ratio.
+    """
+    if weights is None:
+        weights = octant_work_weights(mesh)
+    per_rank = np.array(
+        [weights[partition.local_indices(r)].sum()
+         for r in range(partition.num_parts)]
+    )
+    ratio = float(per_rank.max() / per_rank.mean())
+    metrics.gauge("load_imbalance").set(ratio)
+    for r in range(partition.num_parts):
+        metrics.gauge("octants_owned", rank=r).set(
+            int(partition.offsets[r + 1] - partition.offsets[r])
+        )
+        metrics.gauge("rank_work", rank=r).set(float(per_rank[r]))
+    return ratio

@@ -5,9 +5,19 @@ boundary → zip → AXPY.  :class:`StepProfiler` times each phase with
 ``perf_counter`` context managers the solvers enter around the matching
 code regions, and accumulates totals per phase and per step.
 
+Since the telemetry PR the profiler is a thin adapter over
+:mod:`repro.telemetry`: wired to a :class:`repro.telemetry.Tracer` it
+emits every step / RK4 stage / phase as a nested span on the trace
+timeline, wired to a :class:`repro.telemetry.MetricsRegistry` it feeds
+per-phase latency *histograms* (``phase_seconds{phase}`` /
+``step_seconds``), and with ``record_samples=True`` it keeps the
+per-step phase samples, not just the running totals.  ``summary()`` and
+``report()`` are byte-compatible with the pre-telemetry profiler.
+
 The profiler is opt-in and designed to cost nothing when disabled: the
-``phase``/``step`` methods then return a single shared no-op context
-manager, so the hot path pays one attribute check and no allocation.
+``phase``/``step``/``stage`` methods then return a single shared no-op
+context manager, so the hot path pays one attribute check and no
+allocation.
 """
 
 from __future__ import annotations
@@ -18,25 +28,46 @@ from contextlib import nullcontext
 # Alg. 1 phases, in pipeline order (Fig. 20 of the paper).
 PHASES = ("unzip", "deriv", "algebra", "boundary", "zip", "axpy")
 
+#: span names of the four RK4 stages (pre-built: no f-string per call)
+STAGE_NAMES = ("rk4.stage1", "rk4.stage2", "rk4.stage3", "rk4.stage4")
+
 _NULL = nullcontext()
 
 
 class _PhaseTimer:
-    """Context manager accumulating wall time into one phase bucket."""
+    """Context manager accumulating wall time into one phase bucket.
 
-    __slots__ = ("profiler", "phase", "_t0")
+    One instance is shared per phase, so re-entrant / nested use of the
+    same phase (``with prof.phase("zip"): ... with prof.phase("zip")``)
+    must not clobber the outer start time: starts live on a stack, and
+    every enter/exit pair accumulates its own duration (a nested pair
+    therefore counts its slice twice in the bucket — same-phase nesting
+    is additive by design; see the regression test).
+    """
+
+    __slots__ = ("profiler", "phase", "_t0s")
 
     def __init__(self, profiler: "StepProfiler", phase: str):
         self.profiler = profiler
         self.phase = phase
-        self._t0 = 0.0
+        self._t0s: list[float] = []
 
     def __enter__(self):
-        self._t0 = time.perf_counter()
+        tracer = self.profiler.tracer
+        if tracer is not None:
+            tracer.begin(self.phase, "phase")
+        self._t0s.append(time.perf_counter())
         return self
 
     def __exit__(self, *exc):
-        self.profiler.totals[self.phase] += time.perf_counter() - self._t0
+        dt = time.perf_counter() - self._t0s.pop()
+        prof = self.profiler
+        prof.totals[self.phase] += dt
+        acc = prof._step_acc
+        if acc is not None:
+            acc[self.phase] += dt
+        if prof.tracer is not None:
+            prof.tracer.end()
         return False
 
 
@@ -46,17 +77,52 @@ class StepProfiler:
     Parameters
     ----------
     enabled:
-        When ``False`` every ``phase``/``step`` call returns a shared
-        no-op context manager (sub-2% overhead on a full step).
+        When ``False`` every ``phase``/``step``/``stage`` call returns a
+        shared no-op context manager (sub-2% overhead on a full step).
+    tracer:
+        Optional :class:`repro.telemetry.Tracer`; steps, RK4 stages and
+        phases are then recorded as nested spans.
+    metrics:
+        Optional :class:`repro.telemetry.MetricsRegistry`; per-step
+        phase times feed ``phase_seconds{phase}`` histograms and
+        ``step_seconds`` at every ``end_step``.
+    record_samples:
+        Keep the per-step samples (``samples[phase][i]`` is the time
+        phase ``phase`` took within step ``i``; ``step_samples[i]`` the
+        whole step), not just the running totals.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, *, tracer=None, metrics=None,
+                 record_samples: bool = False):
         self.enabled = enabled
+        self.tracer = tracer if (enabled and tracer is not None
+                                 and tracer.enabled) else None
+        self.metrics = metrics if enabled else None
         self.totals: dict[str, float] = {p: 0.0 for p in PHASES}
         self.steps = 0
         self.step_time = 0.0
         self._timers = {p: _PhaseTimer(self, p) for p in PHASES}
         self._step_t0 = 0.0
+        self.samples: dict[str, list[float]] | None = None
+        self.step_samples: list[float] | None = None
+        if enabled and record_samples:
+            self.samples = {p: [] for p in PHASES}
+            self.step_samples = []
+        #: per-step phase accumulator (None when neither samples nor
+        #: metrics consume it — the phase exit path then skips it)
+        self._step_acc: dict[str, float] | None = (
+            {p: 0.0 for p in PHASES}
+            if (self.samples is not None or self.metrics is not None)
+            else None
+        )
+        self._hists = (
+            {p: metrics.histogram("phase_seconds", phase=p) for p in PHASES}
+            if self.metrics is not None else None
+        )
+        self._step_hist = (
+            metrics.histogram("step_seconds")
+            if self.metrics is not None else None
+        )
 
     # -- recording -----------------------------------------------------
     def phase(self, name: str):
@@ -65,20 +131,59 @@ class StepProfiler:
             return _NULL
         return self._timers[name]
 
+    def stage(self, i: int):
+        """Context manager spanning RK4 stage ``i`` (1-based) on the
+        trace timeline; a no-op without a tracer."""
+        if self.tracer is None:
+            return _NULL
+        return self.tracer.span(STAGE_NAMES[i - 1], "stage")
+
+    def region(self, name: str, args: dict | None = None):
+        """Context manager spanning a non-phase region (regrid, halo
+        exchange, checkpoint...) on the trace timeline."""
+        if self.tracer is None:
+            return _NULL
+        return self.tracer.span(name, "region", args)
+
     def begin_step(self) -> None:
         if self.enabled:
+            if self.tracer is not None:
+                self.tracer.begin("step", "step")
             self._step_t0 = time.perf_counter()
 
     def end_step(self) -> None:
-        if self.enabled:
-            self.step_time += time.perf_counter() - self._step_t0
-            self.steps += 1
+        if not self.enabled:
+            return
+        dt = time.perf_counter() - self._step_t0
+        self.step_time += dt
+        self.steps += 1
+        if self.tracer is not None:
+            self.tracer.end()
+        acc = self._step_acc
+        if acc is not None:
+            for p in PHASES:
+                if self.samples is not None:
+                    self.samples[p].append(acc[p])
+                if self._hists is not None:
+                    self._hists[p].observe(acc[p])
+                acc[p] = 0.0
+            if self.step_samples is not None:
+                self.step_samples.append(dt)
+            if self._step_hist is not None:
+                self._step_hist.observe(dt)
+            if self.metrics is not None:
+                self.metrics.counter("steps_total").inc()
 
     def reset(self) -> None:
         for p in PHASES:
             self.totals[p] = 0.0
         self.steps = 0
         self.step_time = 0.0
+        if self.samples is not None:
+            self.samples = {p: [] for p in PHASES}
+            self.step_samples = []
+        if self._step_acc is not None:
+            self._step_acc = {p: 0.0 for p in PHASES}
 
     # -- reporting -----------------------------------------------------
     def summary(self) -> dict:

@@ -46,10 +46,18 @@ class RunJournal:
     other fields are caller-supplied.  NaN/Inf floats are serialised as
     strings (JSON has no representation for them) so the file stays
     loadable line by line.
+
+    ``sink`` (a :class:`repro.telemetry.TelemetrySink`) mirrors every
+    event into the unified telemetry stream — rollbacks and halo retries
+    then show up as instant markers on the Perfetto timeline, next to the
+    step spans they interrupted.  The journal file stays the ground
+    truth; the sink copy carries the same caller fields but its own
+    sequence numbers.
     """
 
-    def __init__(self, path=None):
+    def __init__(self, path=None, sink=None):
         self.path = pathlib.Path(path) if path is not None else None
+        self.sink = sink
         self.events: list[dict] = []
         self._seq = 0
         self._fh = None
@@ -68,6 +76,11 @@ class RunJournal:
                 json.dumps(rec, separators=(",", ":"), default=str) + "\n"
             )
             self._fh.flush()
+        if self.sink is not None:
+            self.sink.event(
+                kind, **{k: v for k, v in rec.items()
+                         if k not in ("seq", "kind", "wall")}
+            )
         return rec
 
     def count(self, kind: str) -> int:

@@ -119,6 +119,14 @@ class SupervisedRun:
     injector:
         Optional :class:`repro.resilience.FaultInjector`; fired after
         every step, before the health scan (test/CI harness hook).
+    telemetry:
+        Optional :class:`repro.telemetry.TelemetrySink`.  The journal's
+        recovery events are mirrored into its unified event stream
+        (rollbacks land on the Perfetto timeline), solvers carrying a
+        ``telemetry`` attribute (the distributed drivers) are pointed at
+        the sink, a solver without a live profiler gets one wired to the
+        sink's tracer/metrics, and :meth:`run` samples the solver on the
+        sink's cadence.
     """
 
     def __init__(
@@ -132,11 +140,22 @@ class SupervisedRun:
         checkpoint_every: int = 0,
         keep: int = 3,
         injector=None,
+        telemetry=None,
     ):
         self.solver = solver
         self.monitor = monitor if monitor is not None else HealthMonitor()
         self.policy = policy if policy is not None else RetryPolicy()
         self.journal = journal if journal is not None else RunJournal()
+        self.telemetry = telemetry
+        if telemetry is not None:
+            if self.journal.sink is None:
+                self.journal.sink = telemetry
+            if hasattr(solver, "telemetry") and solver.telemetry is None:
+                solver.telemetry = telemetry
+            prof = getattr(solver, "profiler", None)
+            if prof is None or not getattr(prof, "enabled", False):
+                if hasattr(solver, "profiler"):
+                    solver.profiler = telemetry.profiler()
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = int(checkpoint_every)
         self.keep = int(keep)
@@ -356,6 +375,8 @@ class SupervisedRun:
                     self.journal.event("regrid", step=solver.step_count,
                                        octants=solver.mesh.num_octants)
             self.step()
+            if self.telemetry is not None:
+                self.telemetry.on_step(solver)
             if (
                 self.checkpoint_every
                 and solver.step_count % self.checkpoint_every == 0
@@ -363,6 +384,10 @@ class SupervisedRun:
                 self.write_checkpoint()
         if self.checkpoint_dir is not None:
             self.write_checkpoint()
+        if self.telemetry is not None:
+            from repro.telemetry.instrument import sample_supervisor
+
+            sample_supervisor(self.telemetry.metrics, self)
         report = self.report()
         self.journal.event("complete", **{
             k: report[k] for k in ("t", "step_count", "rollbacks")

@@ -269,12 +269,13 @@ class BSSNSolver:
                     "solver.patches", (S.NUM_VARS, n, mesh.P, mesh.P, mesh.P)
                 )
                 mesh.unzip(u, out=patches, method=self.unzip_method,
-                           coalesce=True, pool=pool)
+                           coalesce=True, pool=pool, tracer=prof.tracer)
             chunks = ws.chunk_faces()
         else:
             pool = None
             with prof.phase("unzip"):
-                patches = mesh.unzip(u, method=self.unzip_method)  # alloc-ok
+                patches = mesh.unzip(u, method=self.unzip_method,  # alloc-ok
+                                     tracer=prof.tracer)
             bfaces = mesh.boundary_faces()
             chunks = []
             for lo in range(0, n, self.chunk):
@@ -378,26 +379,36 @@ class BSSNSolver:
 
     def regrid(self, eps: float, *, max_level: int | None = None) -> bool:
         """Wavelet-driven re-mesh + state transfer. Returns True if the
-        grid changed."""
-        refine, coarsen = regrid_flags(
-            self.mesh, self.state, eps, max_level=max_level
-        )
-        if not refine.any() and not coarsen.any():
-            return False
-        new_mesh = remesh(self.mesh, refine, coarsen)
-        if new_mesh.num_octants == self.mesh.num_octants and np.array_equal(
-            new_mesh.tree.keys, self.mesh.tree.keys
-        ):
-            return False
-        self.state = transfer_fields(self.mesh, new_mesh, self.state)
-        self.mesh = new_mesh
-        self._coords = None
-        self.record.regrid_steps.append(self.step_count)
-        return True
+        grid changed.  Spanned on the telemetry timeline when a traced
+        profiler is attached (the only host/device-sync of Alg. 1)."""
+        prof = self.profiler
+        tracer = prof.tracer if prof is not None else None
+        with prof.region("regrid") if prof is not None else _NULL:
+            refine, coarsen = regrid_flags(
+                self.mesh, self.state, eps, max_level=max_level
+            )
+            if not refine.any() and not coarsen.any():
+                return False
+            new_mesh = remesh(self.mesh, refine, coarsen, tracer=tracer)
+            if new_mesh.num_octants == self.mesh.num_octants and np.array_equal(
+                new_mesh.tree.keys, self.mesh.tree.keys
+            ):
+                return False
+            self.state = transfer_fields(self.mesh, new_mesh, self.state,
+                                         tracer=tracer)
+            self.mesh = new_mesh
+            self._coords = None
+            self.record.regrid_steps.append(self.step_count)
+            return True
 
     # -- diagnostics ---------------------------------------------------------
     def constraints(self) -> dict[str, float]:
         """Constraint norms of the current state (chunked evaluation)."""
+        prof = self.profiler
+        with prof.region("constraints") if prof is not None else _NULL:
+            return self._constraints()
+
+    def _constraints(self) -> dict[str, float]:
         mesh = self.mesh
         patches = mesh.unzip(self.state)
         k, r = mesh.k, mesh.r

@@ -16,6 +16,11 @@ RK4_B = (1.0 / 6.0, 1.0 / 3.0, 1.0 / 3.0, 1.0 / 6.0)
 _NULL = nullcontext()
 
 
+def _no_stage(_i: int):
+    """Stage-span stand-in when no profiler is attached."""
+    return _NULL
+
+
 @hot_path
 def rk4_step(
     rhs: Callable[..., np.ndarray],
@@ -38,66 +43,80 @@ def rk4_step(
     in-place path performs the identical sequence of elementwise
     operations as the allocating path, so results are bitwise equal.
     ``profiler`` (a :class:`repro.perf.StepProfiler`) times the RK
-    arithmetic under its ``axpy`` phase.
+    arithmetic under its ``axpy`` phase and, when wired to a telemetry
+    tracer, spans each of the four stages on the trace timeline.
     """
-    axpy = profiler.phase("axpy") if profiler is not None else _NULL
+    if profiler is not None:
+        axpy = profiler.phase("axpy")
+        rk_stage = profiler.stage
+    else:
+        axpy = _NULL
+        rk_stage = _no_stage
 
     if work is None:
-        k1 = rhs(u, t)
-        with axpy:
-            u2 = u + (0.5 * dt) * k1  # alloc-ok: allocating baseline path
-        if post_stage is not None:
-            post_stage(u2)
-        k2 = rhs(u2, t + 0.5 * dt)
-        with axpy:
-            u3 = u + (0.5 * dt) * k2  # alloc-ok: allocating baseline path
-        if post_stage is not None:
-            post_stage(u3)
-        k3 = rhs(u3, t + 0.5 * dt)
-        with axpy:
-            u4 = u + dt * k3  # alloc-ok: allocating baseline path
-        if post_stage is not None:
-            post_stage(u4)
-        k4 = rhs(u4, t + dt)
-        with axpy:
-            out = u + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)  # alloc-ok
-        if post_stage is not None:
-            post_stage(out)
+        with rk_stage(1):
+            k1 = rhs(u, t)
+            with axpy:
+                u2 = u + (0.5 * dt) * k1  # alloc-ok: allocating baseline path
+            if post_stage is not None:
+                post_stage(u2)
+        with rk_stage(2):
+            k2 = rhs(u2, t + 0.5 * dt)
+            with axpy:
+                u3 = u + (0.5 * dt) * k2  # alloc-ok: allocating baseline path
+            if post_stage is not None:
+                post_stage(u3)
+        with rk_stage(3):
+            k3 = rhs(u3, t + 0.5 * dt)
+            with axpy:
+                u4 = u + dt * k3  # alloc-ok: allocating baseline path
+            if post_stage is not None:
+                post_stage(u4)
+        with rk_stage(4):
+            k4 = rhs(u4, t + dt)
+            with axpy:
+                out = u + (dt / 6.0) * (k1 + 2.0 * k2 + 2.0 * k3 + k4)  # alloc-ok
+            if post_stage is not None:
+                post_stage(out)
         return out
 
     # -- pooled in-place path (same operation order → bitwise identical)
     k, ksum, stage, scratch = work.k, work.ksum, work.stage, work.scratch
     out = work.out_for(u)
 
-    rhs(u, t, out=ksum)  # ksum = k1
-    with axpy:
-        np.multiply(ksum, 0.5 * dt, out=scratch)
-        np.add(u, scratch, out=stage)  # u2
-    if post_stage is not None:
-        post_stage(stage)
-    rhs(stage, t + 0.5 * dt, out=k)  # k2
-    with axpy:
-        np.multiply(k, 2.0, out=scratch)
-        np.add(ksum, scratch, out=ksum)  # k1 + 2 k2
-        np.multiply(k, 0.5 * dt, out=scratch)
-        np.add(u, scratch, out=stage)  # u3
-    if post_stage is not None:
-        post_stage(stage)
-    rhs(stage, t + 0.5 * dt, out=k)  # k3
-    with axpy:
-        np.multiply(k, 2.0, out=scratch)
-        np.add(ksum, scratch, out=ksum)  # + 2 k3
-        np.multiply(k, dt, out=scratch)
-        np.add(u, scratch, out=stage)  # u4
-    if post_stage is not None:
-        post_stage(stage)
-    rhs(stage, t + dt, out=k)  # k4
-    with axpy:
-        np.add(ksum, k, out=ksum)  # + k4
-        np.multiply(ksum, dt / 6.0, out=scratch)
-        np.add(u, scratch, out=out)
-    if post_stage is not None:
-        post_stage(out)
+    with rk_stage(1):
+        rhs(u, t, out=ksum)  # ksum = k1
+        with axpy:
+            np.multiply(ksum, 0.5 * dt, out=scratch)
+            np.add(u, scratch, out=stage)  # u2
+        if post_stage is not None:
+            post_stage(stage)
+    with rk_stage(2):
+        rhs(stage, t + 0.5 * dt, out=k)  # k2
+        with axpy:
+            np.multiply(k, 2.0, out=scratch)
+            np.add(ksum, scratch, out=ksum)  # k1 + 2 k2
+            np.multiply(k, 0.5 * dt, out=scratch)
+            np.add(u, scratch, out=stage)  # u3
+        if post_stage is not None:
+            post_stage(stage)
+    with rk_stage(3):
+        rhs(stage, t + 0.5 * dt, out=k)  # k3
+        with axpy:
+            np.multiply(k, 2.0, out=scratch)
+            np.add(ksum, scratch, out=ksum)  # + 2 k3
+            np.multiply(k, dt, out=scratch)
+            np.add(u, scratch, out=stage)  # u4
+        if post_stage is not None:
+            post_stage(stage)
+    with rk_stage(4):
+        rhs(stage, t + dt, out=k)  # k4
+        with axpy:
+            np.add(ksum, k, out=ksum)  # + k4
+            np.multiply(ksum, dt / 6.0, out=scratch)
+            np.add(u, scratch, out=out)
+        if post_stage is not None:
+            post_stage(out)
     return out
 
 

@@ -141,11 +141,12 @@ class WaveSolver:
             with prof.phase("unzip"):
                 patches = pool.get("solver.patches", (2, n, mesh.P, mesh.P, mesh.P))
                 mesh.unzip(u, out=patches, method=self.unzip_method,
-                           coalesce=True, pool=pool)
+                           coalesce=True, pool=pool, tracer=prof.tracer)
         else:
             pool = None
             with prof.phase("unzip"):
-                patches = mesh.unzip(u, method=self.unzip_method)  # alloc-ok
+                patches = mesh.unzip(u, method=self.unzip_method,  # alloc-ok
+                                     tracer=prof.tracer)
         rhs = np.empty_like(u) if out is None else out  # alloc-ok: out=None fallback
         coords = self.coords()
         for lo in range(0, n, self.chunk):
@@ -311,16 +312,21 @@ class WaveSolver:
 
     def regrid(self, eps: float, *, max_level: int | None = None) -> bool:
         """Wavelet-driven re-mesh + state transfer; True if the grid changed."""
-        refine, coarsen = regrid_flags(self.mesh, self.state, eps, max_level=max_level)
-        if not refine.any() and not coarsen.any():
-            return False
-        new_mesh = remesh(self.mesh, refine, coarsen)
-        if np.array_equal(new_mesh.tree.keys, self.mesh.tree.keys):
-            return False
-        self.state = transfer_fields(self.mesh, new_mesh, self.state)
-        self.mesh = new_mesh
-        self._coords = None
-        return True
+        prof = self.profiler
+        tracer = prof.tracer if prof is not None else None
+        with prof.region("regrid") if prof is not None else _NULL:
+            refine, coarsen = regrid_flags(self.mesh, self.state, eps,
+                                           max_level=max_level)
+            if not refine.any() and not coarsen.any():
+                return False
+            new_mesh = remesh(self.mesh, refine, coarsen, tracer=tracer)
+            if np.array_equal(new_mesh.tree.keys, self.mesh.tree.keys):
+                return False
+            self.state = transfer_fields(self.mesh, new_mesh, self.state,
+                                         tracer=tracer)
+            self.mesh = new_mesh
+            self._coords = None
+            return True
 
     def sample(self, points: np.ndarray) -> np.ndarray:
         """Interpolate φ at physical points (extraction)."""

@@ -1,0 +1,62 @@
+"""Unified telemetry: hierarchical tracing, metrics, and run reports.
+
+One layer every subsystem emits into (see DESIGN.md §9):
+
+* :class:`Tracer` — nested spans (step → RK4 stage → Alg.-1 phase →
+  halo exchange / regrid) in a preallocated ring buffer, exported as
+  Chrome trace-event JSON viewable in Perfetto;
+* :class:`MetricsRegistry` — counters, gauges, and fixed-bucket
+  histograms with JSONL snapshots that round-trip;
+* :class:`TelemetrySink` — one run, one self-describing directory
+  (``trace.json`` / ``metrics.jsonl`` / ``events.jsonl`` /
+  ``meta.json``); the :class:`repro.perf.StepProfiler`,
+  :class:`repro.resilience.RunJournal`, and GPU counter paths all
+  publish into it under one event schema;
+* ``python -m repro.telemetry`` — ``record`` / ``summarize`` /
+  ``export-trace`` / ``compare`` over run directories and benchmark
+  JSON reports.
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    METRICS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    load_snapshots,
+    registry_from_snapshot,
+    write_snapshot,
+)
+from .sink import (
+    EVENTS_FILE,
+    META_FILE,
+    METRICS_FILE,
+    RUN_SCHEMA,
+    TRACE_FILE,
+    TelemetrySink,
+    read_events,
+)
+from .tracer import TRACE_SCHEMA, Tracer, merge_chrome_traces
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "EVENTS_FILE",
+    "META_FILE",
+    "METRICS_FILE",
+    "METRICS_SCHEMA",
+    "RUN_SCHEMA",
+    "TRACE_FILE",
+    "TRACE_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TelemetrySink",
+    "Tracer",
+    "load_snapshots",
+    "merge_chrome_traces",
+    "read_events",
+    "registry_from_snapshot",
+    "write_snapshot",
+]

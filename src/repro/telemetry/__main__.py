@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.telemetry``."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

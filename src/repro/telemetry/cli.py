@@ -1,0 +1,411 @@
+"""``python -m repro.telemetry`` — record, inspect, and diff runs.
+
+Subcommands
+-----------
+``record``
+    Run a short instrumented BBH evolution under ``SupervisedRun`` and
+    write a telemetry run directory (the CI telemetry job's workload).
+``summarize``
+    Fig.-20-style per-phase table plus comm / mesh / physics / recovery
+    sections, from a run directory's ``metrics.jsonl`` + ``events.jsonl``.
+``export-trace``
+    Re-export (or copy) a run's Chrome trace JSON for Perfetto.
+``compare``
+    Paired per-phase deltas between two runs (run directories or
+    benchmark ``--json`` reports), with a configurable regression
+    threshold — the perf-trajectory gate CI runs against the committed
+    baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from .metrics import load_snapshots
+from .sink import (
+    EVENTS_FILE,
+    META_FILE,
+    METRICS_FILE,
+    TRACE_FILE,
+    TelemetrySink,
+    read_events,
+)
+
+#: phases in pipeline order (import-light copy; asserted against
+#: repro.perf.PHASES in tests)
+PHASE_ORDER = ("unzip", "deriv", "algebra", "boundary", "zip", "axpy")
+
+#: event kinds counted in the recovery section of ``summarize``
+RECOVERY_KINDS = ("rollback", "halo-retry", "fault-injected", "regrid",
+                  "checkpoint", "dt-restored", "flagged-step", "abort",
+                  "resume")
+
+
+# ---------------------------------------------------------------------
+# profile loading (run dirs and bench JSON normalise to one shape)
+# ---------------------------------------------------------------------
+def _metric_map(snap: dict) -> dict:
+    out = {}
+    for m in snap.get("metrics", []):
+        out[(m["name"], tuple(sorted(m.get("labels", {}).items())))] = m
+    return out
+
+
+def load_profile(path) -> dict:
+    """Normalise one input to ``{"phases": {phase: sec/step}, ...}``.
+
+    Accepts a telemetry run directory (``metrics.jsonl`` histograms), a
+    ``bench_solver_hotpath.py --json`` report (its ``telemetry_profile``
+    or ``profiler`` section), or an already-normalised profile JSON.
+    """
+    p = pathlib.Path(path)
+    if p.is_dir():
+        snaps = load_snapshots(p / METRICS_FILE)
+        if not snaps:
+            raise ValueError(f"{p}: no metrics snapshots")
+        mm = _metric_map(snaps[-1])
+        phases = {}
+        for ph in PHASE_ORDER:
+            m = mm.get(("phase_seconds", (("phase", ph),)))
+            if m and m["count"]:
+                phases[ph] = m["sum"] / m["count"]
+        step = mm.get(("step_seconds", ()))
+        prof = {
+            "source": str(p),
+            "kind": "run-dir",
+            "phases": phases,
+            "sec_per_step": (step["sum"] / step["count"])
+            if step and step["count"] else None,
+            "steps": step["count"] if step else None,
+        }
+        meta_path = p / META_FILE
+        if meta_path.exists():
+            prof["label"] = json.loads(meta_path.read_text()).get("label")
+        return prof
+    data = json.loads(p.read_text(encoding="utf-8"))
+    if "telemetry_profile" in data:  # bench report, normalised section
+        tp = data["telemetry_profile"]
+        return {"source": str(p), "kind": "bench-json", **tp}
+    if "profiler" in data:  # bench report, raw profiler summary
+        summ = data["profiler"]
+        return {
+            "source": str(p),
+            "kind": "bench-json",
+            "phases": {ph: v["per_step"] for ph, v in summ["phases"].items()},
+            "sec_per_step": summ["step_time"] / max(summ["steps"], 1),
+            "steps": summ["steps"],
+        }
+    if "phases" in data:  # already-normalised profile
+        return {"source": str(p), "kind": "profile", **data}
+    raise ValueError(f"{p}: not a run directory, bench report, or profile")
+
+
+# ---------------------------------------------------------------------
+# summarize
+# ---------------------------------------------------------------------
+def _fmt_val(v: float) -> str:
+    return f"{v:.3e}" if (v and (abs(v) < 1e-3 or abs(v) >= 1e4)) else f"{v:.4f}"
+
+
+def summarize_run(run_dir) -> str:
+    """Human-readable report of one run directory."""
+    p = pathlib.Path(run_dir)
+    snaps = load_snapshots(p / METRICS_FILE)
+    if not snaps:
+        raise ValueError(f"{p}: no metrics snapshots")
+    mm = _metric_map(snaps[-1])
+    lines = []
+    meta_path = p / META_FILE
+    if meta_path.exists():
+        meta = json.loads(meta_path.read_text())
+        lines.append(
+            f"run: {meta.get('label', '?')} ({p})  "
+            f"schema={meta.get('schema', '?')}"
+        )
+
+    # -- per-phase breakdown (Fig. 20 style) ---------------------------
+    step = mm.get(("step_seconds", ()))
+    phase_rows = []
+    phase_sum = 0.0
+    for ph in PHASE_ORDER:
+        m = mm.get(("phase_seconds", (("phase", ph),)))
+        if m and m["count"]:
+            per_step = m["sum"] / m["count"]
+            phase_rows.append((ph, per_step, m["sum"], m["min"], m["max"]))
+            phase_sum += per_step
+    if phase_rows:
+        lines.append("")
+        hdr = f"{'phase':<10} {'per-step [s]':>13} {'share':>7} {'min [s]':>10} {'max [s]':>10}"
+        lines.append(hdr)
+        for ph, per_step, _tot, mn, mx in phase_rows:
+            share = per_step / phase_sum * 100 if phase_sum else 0.0
+            lines.append(
+                f"{ph:<10} {per_step:>13.5f} {share:>6.1f}% "
+                f"{mn:>10.5f} {mx:>10.5f}"
+            )
+        if step and step["count"]:
+            sps = step["sum"] / step["count"]
+            lines.append(
+                f"{'step':<10} {sps:>13.5f} {'':>7} "
+                f"{step['min']:>10.5f} {step['max']:>10.5f}"
+                f"   ({step['count']} steps, {1.0 / sps:.3f} steps/s)"
+            )
+
+    # -- mesh / memory -------------------------------------------------
+    mesh_lines = []
+    tot = mm.get(("octants_total", ()))
+    if tot:
+        per_level = sorted(
+            (dict(key[1])["level"], m["value"])
+            for key, m in mm.items() if key[0] == "octants"
+        )
+        lv = ", ".join(f"L{int(level)}:{int(v)}" for level, v in per_level)
+        mesh_lines.append(f"octants: {int(tot['value'])} ({lv})")
+    pool = mm.get(("pool_bytes", ()))
+    if pool:
+        mesh_lines.append(f"pool: {pool['value'] / 1e6:.1f} MB leased")
+    if mesh_lines:
+        lines.append("")
+        lines.append("mesh/memory: " + "; ".join(mesh_lines))
+
+    # -- comm ----------------------------------------------------------
+    halo_bytes = sum(
+        m["value"] for key, m in mm.items() if key[0] == "halo_bytes"
+    )
+    halo_msgs = sum(
+        m["value"] for key, m in mm.items() if key[0] == "halo_messages"
+    )
+    comm_lines = []
+    if halo_msgs:
+        comm_lines.append(
+            f"halo: {halo_bytes / 1e6:.2f} MB in {int(halo_msgs)} messages"
+        )
+    imb = mm.get(("load_imbalance", ()))
+    if imb:
+        comm_lines.append(f"load imbalance (max/mean): {imb['value']:.3f}")
+    if comm_lines:
+        lines.append("")
+        lines.append("comm: " + "; ".join(comm_lines))
+
+    # -- physics -------------------------------------------------------
+    phys = [
+        (dict(key[1]).get("name", "?"), m["value"])
+        for key, m in mm.items() if key[0] == "constraint"
+    ]
+    psi4 = [
+        (dict(key[1]).get("radius"), m["value"])
+        for key, m in mm.items() if key[0] == "psi4_amplitude"
+    ]
+    if phys or psi4:
+        lines.append("")
+        lines.append("physics:")
+        for name, v in sorted(phys):
+            lines.append(f"  {name:<24} {_fmt_val(v)}")
+        for radius, v in sorted(psi4):
+            lines.append(f"  |psi4(2,2)| @ r={radius:<6} {_fmt_val(v)}")
+
+    # -- recovery ------------------------------------------------------
+    ev_path = p / EVENTS_FILE
+    if ev_path.exists():
+        events = read_events(ev_path)
+        kinds: dict[str, int] = {}
+        for e in events:
+            kinds[e.get("kind", "?")] = kinds.get(e.get("kind", "?"), 0) + 1
+        shown = {k: v for k, v in kinds.items() if k in RECOVERY_KINDS}
+        lines.append("")
+        lines.append(
+            f"events: {len(events)} total"
+            + ("; " + ", ".join(f"{k}={v}" for k, v in sorted(shown.items()))
+               if shown else "")
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------
+# compare
+# ---------------------------------------------------------------------
+def compare_profiles(a: dict, b: dict, *, threshold: float = 0.1) -> dict:
+    """Paired per-phase deltas of B relative to A.
+
+    ``delta`` is ``(b - a) / a``: positive means B is *slower*.  A phase
+    regresses when its delta exceeds ``threshold``; the overall verdict
+    also checks the whole-step time when both sides carry one.
+    """
+    rows = []
+    regressions = []
+    for ph in PHASE_ORDER:
+        va, vb = a["phases"].get(ph), b["phases"].get(ph)
+        if va is None or vb is None or va <= 0.0:
+            continue
+        delta = (vb - va) / va
+        regressed = delta > threshold
+        rows.append({"phase": ph, "a": va, "b": vb, "delta": delta,
+                     "regressed": regressed})
+        if regressed:
+            regressions.append(ph)
+    sa, sb = a.get("sec_per_step"), b.get("sec_per_step")
+    step_row = None
+    if sa and sb:
+        delta = (sb - sa) / sa
+        step_row = {"phase": "step", "a": sa, "b": sb, "delta": delta,
+                    "regressed": delta > threshold}
+        if step_row["regressed"]:
+            regressions.append("step")
+    return {
+        "a": a["source"],
+        "b": b["source"],
+        "threshold": threshold,
+        "phases": rows,
+        "step": step_row,
+        "regressions": regressions,
+        "ok": not regressions,
+    }
+
+
+def render_compare(result: dict) -> str:
+    lines = [
+        f"compare: A={result['a']}",
+        f"         B={result['b']}   (threshold {result['threshold'] * 100:.0f}%)",
+        f"{'phase':<10} {'A [s]':>10} {'B [s]':>10} {'delta':>8}",
+    ]
+    rows = list(result["phases"])
+    if result["step"]:
+        rows.append(result["step"])
+    for r in rows:
+        flag = "  << REGRESSION" if r["regressed"] else ""
+        lines.append(
+            f"{r['phase']:<10} {r['a']:>10.5f} {r['b']:>10.5f} "
+            f"{r['delta'] * 100:>+7.1f}%{flag}"
+        )
+    lines.append(
+        "OK: no phase regressed" if result["ok"]
+        else f"REGRESSED: {', '.join(result['regressions'])}"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------
+# record (the CI / acceptance workload)
+# ---------------------------------------------------------------------
+def record_run(out_dir, *, quick: bool = True, steps: int = 4,
+               metrics_every: int = 2, physics_every: int = 0,
+               checkpoint_every: int = 0) -> dict:
+    """Short instrumented BBH evolution → telemetry run directory.
+
+    Uses the hot-path benchmark grid (quick: ~100 octants; full: the
+    820-octant acceptance grid) under :class:`SupervisedRun`, so the
+    trace carries the complete step → stage → phase hierarchy plus any
+    recovery events.
+    """
+    from repro.bssn import Puncture
+    from repro.mesh import Mesh
+    from repro.octree import bbh_grid
+    from repro.resilience import SupervisedRun
+    from repro.solver import BSSNSolver
+
+    mesh = Mesh(bbh_grid(mass_ratio=2.0, max_level=5 if quick else 6,
+                         base_level=2 if quick else 3))
+    sink = TelemetrySink(
+        out_dir, metrics_every=metrics_every,
+        physics_every=physics_every, label="bbh-quick" if quick else "bbh",
+        meta={"octants": mesh.num_octants, "steps": steps},
+    )
+    solver = BSSNSolver(mesh, pooled=True, profiler=sink.profiler())
+    solver.set_punctures([
+        Puncture(1.0, [-1.5, 0.0, 0.0], momentum=[0.0, 0.1, 0.0]),
+        Puncture(0.5, [1.5, 0.0, 0.0], momentum=[0.0, -0.2, 0.0]),
+    ])
+    run = SupervisedRun(solver, telemetry=sink,
+                        checkpoint_every=checkpoint_every)
+    run.run(t_end=solver.t + steps * solver.dt)
+    sink.finalize(solver, report=run.report())
+    return {
+        "run_dir": str(sink.run_dir),
+        "octants": mesh.num_octants,
+        "steps": solver.step_count,
+        "rollbacks": run.rollbacks,
+    }
+
+
+# ---------------------------------------------------------------------
+# argument parsing / entry point
+# ---------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="record, inspect, and diff telemetry runs",
+    )
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    rec = sub.add_parser("record", help="run a short instrumented BBH "
+                         "evolution into a run directory")
+    rec.add_argument("-o", "--out", required=True, help="run directory")
+    rec.add_argument("--full", action="store_true",
+                     help="the 820-octant acceptance grid (slow)")
+    rec.add_argument("--steps", type=int, default=4)
+    rec.add_argument("--metrics-every", type=int, default=2)
+    rec.add_argument("--physics-every", type=int, default=0,
+                     help="constraint-norm sampling cadence (0 = off)")
+
+    summ = sub.add_parser("summarize", help="per-phase / comm / physics "
+                          "report of a run directory")
+    summ.add_argument("run_dir")
+
+    exp = sub.add_parser("export-trace", help="write a run's Chrome "
+                         "trace JSON (open in ui.perfetto.dev)")
+    exp.add_argument("run_dir")
+    exp.add_argument("-o", "--out", default=None,
+                     help="output file (default: stdout)")
+
+    cmp_ = sub.add_parser("compare", help="paired per-phase deltas of "
+                          "two runs or bench reports")
+    cmp_.add_argument("a", help="baseline (run dir or bench --json file)")
+    cmp_.add_argument("b", help="candidate (run dir or bench --json file)")
+    cmp_.add_argument("--threshold", type=float, default=0.1,
+                      help="regression threshold as a fraction (0.1 = 10%%)")
+    cmp_.add_argument("--warn-only", action="store_true",
+                      help="report regressions but exit 0")
+    cmp_.add_argument("--json", type=pathlib.Path, default=None,
+                      help="also write the comparison as JSON")
+    return ap
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.cmd == "record":
+        info = record_run(args.out, quick=not args.full, steps=args.steps,
+                          metrics_every=args.metrics_every,
+                          physics_every=args.physics_every)
+        print(f"recorded {info['steps']} steps over {info['octants']} "
+              f"octants -> {info['run_dir']}")
+        print(summarize_run(args.out))
+        return 0
+    if args.cmd == "summarize":
+        print(summarize_run(args.run_dir))
+        return 0
+    if args.cmd == "export-trace":
+        trace_path = pathlib.Path(args.run_dir) / TRACE_FILE
+        if not trace_path.exists():
+            print(f"error: {trace_path} not found (run not finalized?)",
+                  file=sys.stderr)
+            return 2
+        text = trace_path.read_text(encoding="utf-8")
+        json.loads(text)  # validate before re-emitting
+        if args.out:
+            pathlib.Path(args.out).write_text(text, encoding="utf-8")
+            print(f"wrote {args.out}")
+        else:
+            print(text)
+        return 0
+    if args.cmd == "compare":
+        result = compare_profiles(load_profile(args.a), load_profile(args.b),
+                                  threshold=args.threshold)
+        print(render_compare(result))
+        if args.json is not None:
+            args.json.parent.mkdir(parents=True, exist_ok=True)
+            args.json.write_text(json.dumps(result, indent=2))
+        return 0 if (result["ok"] or args.warn_only) else 1
+    return 2

@@ -1,0 +1,210 @@
+"""Hierarchical tracing: nested spans in a preallocated ring buffer.
+
+A :class:`Tracer` records *spans* — named, timed regions that nest
+(step → RK4 stage → unzip/deriv/algebra/boundary/zip/axpy → halo
+exchange) — and *instants* (rollbacks, regrids, kernel launches) into a
+bounded ring buffer.  The buffer is preallocated at construction: a
+steady-state run appends O(1) small records per span and never grows the
+trace without bound; once full, the oldest records are overwritten and
+``dropped`` counts what was lost.
+
+Disabled tracers are a true no-op: :meth:`Tracer.span` returns one
+shared :func:`~contextlib.nullcontext` and :meth:`begin`/:meth:`end`/
+:meth:`instant` return immediately, so hot paths pay one attribute check.
+
+The export format is Chrome trace-event JSON (``{"traceEvents": [...]}``
+with ``"ph": "X"`` complete events and ``"ph": "i"`` instants), which
+loads directly in Perfetto (https://ui.perfetto.dev) and
+``chrome://tracing``.  Nesting is expressed the way those tools expect:
+events on the same pid/tid nest by time containment.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+
+#: schema identifier stamped into exported traces
+TRACE_SCHEMA = "repro-trace-v1"
+
+_NULL = nullcontext()
+
+# record layout indices (plain tuples keep the ring cheap)
+_PH, _NAME, _CAT, _TS, _DUR, _DEPTH, _ARGS = range(7)
+
+
+class _SpanCtx:
+    """Context-manager wrapper over :meth:`Tracer.begin`/:meth:`Tracer.end`.
+
+    One instance per ``span()`` call on the *enabled* path, so nested and
+    re-entrant spans (same name opened twice) each carry their own frame.
+    """
+
+    __slots__ = ("tracer", "name", "cat", "args")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args):
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def __enter__(self):
+        self.tracer.begin(self.name, self.cat, self.args)
+        return self
+
+    def __exit__(self, *exc):
+        self.tracer.end()
+        return False
+
+
+class Tracer:
+    """Nested-span recorder with a fixed-capacity ring buffer.
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` makes every recording method a no-op (hot paths keep a
+        single attribute check; see the overhead test).
+    capacity:
+        Ring size in records.  The buffer list is allocated once here.
+    clock:
+        Monotonic time source (seconds); ``time.perf_counter`` default.
+    pid / tid:
+        Chrome trace process/thread ids — distributed drivers use
+        ``tid=rank`` so each rank gets its own swim-lane.
+    """
+
+    def __init__(self, enabled: bool = True, capacity: int = 65536,
+                 clock=time.perf_counter, *, pid: int = 0, tid: int = 0):
+        self.enabled = bool(enabled)
+        self.capacity = int(capacity)
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.clock = clock
+        self.pid = int(pid)
+        self.tid = int(tid)
+        #: preallocated ring slots (records are small tuples)
+        self._buf: list = [None] * self.capacity
+        self._head = 0          # next write index
+        self._count = 0         # records currently held (<= capacity)
+        self.dropped = 0        # records overwritten after wraparound
+        self._stack: list = []  # open-span frames (name, cat, t0, args)
+        #: pairing of the monotonic clock with wall time, for meta.json
+        self.epoch_wall = time.time()
+        self.epoch_clock = clock()
+
+    # -- recording ------------------------------------------------------
+    def span(self, name: str, cat: str = "region", args: dict | None = None):
+        """Context manager recording one nested span (no-op if disabled)."""
+        if not self.enabled:
+            return _NULL
+        return _SpanCtx(self, name, cat, args)
+
+    def begin(self, name: str, cat: str = "region",
+              args: dict | None = None) -> None:
+        """Open a span (explicit form; prefer :meth:`span` outside hot
+        paths).  Spans must close LIFO via :meth:`end`."""
+        if not self.enabled:
+            return
+        self._stack.append((name, cat, self.clock(), args))
+
+    def end(self, args: dict | None = None) -> None:
+        """Close the innermost open span; ``args`` merge over begin's."""
+        if not self.enabled:
+            return
+        t1 = self.clock()
+        name, cat, t0, a0 = self._stack.pop()
+        if args:
+            a0 = {**a0, **args} if a0 else dict(args)
+        self._record(("X", name, cat, t0, t1 - t0, len(self._stack), a0))
+
+    def instant(self, name: str, cat: str = "event",
+                args: dict | None = None) -> None:
+        """Record a zero-duration marker (rollback, regrid, launch...)."""
+        if not self.enabled:
+            return
+        self._record(("i", name, cat, self.clock(), 0.0,
+                      len(self._stack), args))
+
+    def _record(self, rec: tuple) -> None:
+        if self._count == self.capacity:
+            self.dropped += 1
+        else:
+            self._count += 1
+        self._buf[self._head] = rec
+        self._head = (self._head + 1) % self.capacity
+
+    # -- inspection -----------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def open_spans(self) -> int:
+        """Depth of the currently-open span stack."""
+        return len(self._stack)
+
+    def records(self) -> list[tuple]:
+        """Held records, oldest first (ring order restored)."""
+        if self._count < self.capacity:
+            return [r for r in self._buf[: self._count]]
+        return self._buf[self._head :] + self._buf[: self._head]
+
+    def reset(self) -> None:
+        """Drop all records and any open spans."""
+        self._buf = [None] * self.capacity
+        self._head = 0
+        self._count = 0
+        self.dropped = 0
+        self._stack.clear()
+
+    # -- export ---------------------------------------------------------
+    def to_chrome(self, *, label: str = "repro") -> dict:
+        """The trace as a Chrome trace-event JSON object.
+
+        Timestamps are microseconds since the tracer's epoch; complete
+        spans use ``"ph": "X"`` (Perfetto nests same-tid events by time
+        containment), instants use ``"ph": "i"`` with thread scope.
+        """
+        t0 = self.epoch_clock
+        events: list[dict] = [
+            {"ph": "M", "name": "process_name", "pid": self.pid, "tid": self.tid,
+             "args": {"name": label}},
+        ]
+        for rec in self.records():
+            ev = {
+                "ph": rec[_PH],
+                "name": rec[_NAME],
+                "cat": rec[_CAT],
+                "ts": (rec[_TS] - t0) * 1e6,
+                "pid": self.pid,
+                "tid": self.tid,
+            }
+            if rec[_PH] == "X":
+                ev["dur"] = rec[_DUR] * 1e6
+            else:
+                ev["s"] = "t"
+            if rec[_ARGS]:
+                ev["args"] = dict(rec[_ARGS])
+            events.append(ev)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "schema": TRACE_SCHEMA,
+                "epoch_wall": self.epoch_wall,
+                "dropped": self.dropped,
+            },
+        }
+
+
+def merge_chrome_traces(traces: list[dict]) -> dict:
+    """Concatenate the events of several exported traces (e.g. one per
+    rank) into one viewable file; ``otherData`` comes from the first."""
+    if not traces:
+        return {"traceEvents": [], "otherData": {"schema": TRACE_SCHEMA}}
+    out = {k: v for k, v in traces[0].items()}
+    events: list[dict] = []
+    for tr in traces:
+        events.extend(tr.get("traceEvents", []))
+    out["traceEvents"] = events
+    return out
