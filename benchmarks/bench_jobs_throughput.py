@@ -1,0 +1,198 @@
+"""E-jobs — campaign orchestration overhead: persistent-queue op
+throughput, scheduler policy cost, and end-to-end campaign overhead
+(orchestration wall time not spent inside solvers).
+
+Three measurements:
+
+* ``queue`` — submit / claim / complete ops per second on the
+  file-backed JSONL queue (every op is lock + full-journal replay +
+  fsync'd append, so this is the worst-case durable-op cost and grows
+  with journal length);
+* ``scheduler`` — :func:`repro.jobs.claim_order` and
+  :func:`repro.jobs.pack` cost on a large synthetic backlog (pure
+  in-memory policy — this must be negligible next to any queue op);
+* ``campaign`` — a tiny in-process campaign (3 wave jobs, 1 worker):
+  jobs/hour plus the orchestration fraction = 1 − (solver wall /
+  campaign span), which is EXPERIMENTS.md's scheduler-overhead number.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_jobs_throughput.py --quick \
+        --json benchmarks/output/jobs_throughput.json
+
+or via pytest (quick mode): ``pytest benchmarks/bench_jobs_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import tempfile
+import time
+
+from repro.io import RunConfig
+from repro.jobs import Campaign, JobQueue, campaign_report, claim_order, pack, worker_loop
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def bench_queue_ops(root, n_jobs: int) -> dict:
+    """Durable queue-op throughput over a full submit→claim→complete
+    pass of ``n_jobs`` jobs."""
+    q = JobQueue(root)
+
+    t0 = time.perf_counter()
+    for i in range(n_jobs):
+        q.submit({"name": f"job{i}"}, cache_key=f"key{i:06d}",
+                 cost={"total_seconds": 1.0})
+    t_submit = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    claimed = []
+    while True:
+        rec = q.claim("bench")
+        if rec is None:
+            break
+        claimed.append(rec["id"])
+    t_claim = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for job_id in claimed:
+        q.complete(job_id, {"ok": True})
+    t_complete = time.perf_counter() - t0
+
+    assert len(claimed) == len(set(claimed)) == n_jobs  # no double-claims
+    total = t_submit + t_claim + t_complete
+    return {
+        "n_jobs": n_jobs,
+        "submit_ops_per_sec": n_jobs / t_submit,
+        "claim_ops_per_sec": n_jobs / t_claim,
+        "complete_ops_per_sec": n_jobs / t_complete,
+        "overall_ops_per_sec": 3 * n_jobs / total,
+        "mean_op_ms": 1e3 * total / (3 * n_jobs),
+    }
+
+
+def bench_scheduler(n_records: int) -> dict:
+    """Pure policy cost on a synthetic backlog (no I/O)."""
+    records = [
+        {"id": f"j{i:06d}", "seq": i, "state": "pending",
+         "priority": i % 3, "preempt_requested": False,
+         "cost": {"total_seconds": 0.5 + (i * 7919) % 100}}
+        for i in range(n_records)
+    ]
+    t0 = time.perf_counter()
+    order = claim_order(records)
+    t_order = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    _, makespan = pack(records, 16)
+    t_pack = time.perf_counter() - t0
+    assert len(order) == n_records
+    return {
+        "n_records": n_records,
+        "claim_order_ms": 1e3 * t_order,
+        "pack_ms": 1e3 * t_pack,
+        "predicted_makespan_seconds": makespan,
+    }
+
+
+def _tiny_cfg(name: str, t_end: float) -> RunConfig:
+    return RunConfig(name=name, solver="wave", domain_half_width=8.0,
+                     base_level=1, max_level=2, t_end=t_end, courant=0.25,
+                     ko_sigma=0.05, regrid_every=4, regrid_eps=3e-5,
+                     extraction_radii=[4.0])
+
+
+def bench_campaign(root, n_jobs: int = 3) -> dict:
+    """Jobs/hour and orchestration fraction for a tiny 1-worker
+    campaign (queue + telemetry + checkpoint cost around the solver)."""
+    campaign = Campaign(root)
+    for i in range(n_jobs):
+        campaign.submit(_tiny_cfg(f"bench-{i}", t_end=0.5 + 0.25 * i))
+    t0 = time.perf_counter()
+    stats = worker_loop(root, "bench")
+    span = time.perf_counter() - t0
+    assert stats["done"] == n_jobs
+
+    report = campaign_report(root)
+    solver_wall = sum(j["actual_wall_seconds"] or 0.0 for j in report["jobs"])
+    return {
+        "n_jobs": n_jobs,
+        "span_seconds": span,
+        "solver_wall_seconds": solver_wall,
+        "orchestration_fraction": max(0.0, 1.0 - solver_wall / span),
+        "jobs_per_hour": 3600.0 * n_jobs / span,
+    }
+
+
+def run_benchmark(quick: bool = False) -> dict:
+    n_queue = 60 if quick else 200
+    n_sched = 2_000 if quick else 20_000
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="bench-jobs-"))
+    try:
+        queue_stats = bench_queue_ops(tmp / "queue-bench", n_queue)
+        sched_stats = bench_scheduler(n_sched)
+        campaign_stats = bench_campaign(tmp / "campaign-bench")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "schema": "repro-bench-jobs-v1",
+        "quick": quick,
+        "queue": queue_stats,
+        "scheduler": sched_stats,
+        "campaign": campaign_stats,
+    }
+
+
+def render(report: dict) -> str:
+    q, s, c = report["queue"], report["scheduler"], report["campaign"]
+    return "\n".join([
+        "campaign orchestration benchmark"
+        + (" [quick]" if report["quick"] else ""),
+        f"queue ({q['n_jobs']} jobs, durable JSONL + flock + fsync):",
+        f"  submit   {q['submit_ops_per_sec']:>8.0f} ops/s",
+        f"  claim    {q['claim_ops_per_sec']:>8.0f} ops/s",
+        f"  complete {q['complete_ops_per_sec']:>8.0f} ops/s",
+        f"  mean durable op: {q['mean_op_ms']:.2f} ms",
+        f"scheduler policy ({s['n_records']} records, in-memory):",
+        f"  claim_order {s['claim_order_ms']:>8.2f} ms"
+        f"   pack(16 workers) {s['pack_ms']:>8.2f} ms",
+        f"campaign ({c['n_jobs']} tiny wave jobs, 1 in-process worker):",
+        f"  span {c['span_seconds']:.2f}s · solver wall "
+        f"{c['solver_wall_seconds']:.2f}s · orchestration "
+        f"{c['orchestration_fraction'] * 100:.1f}% · "
+        f"{c['jobs_per_hour']:.0f} jobs/h",
+    ])
+
+
+def test_jobs_throughput_quick():
+    """Pytest entry: quick-mode run with sanity floors."""
+    report = run_benchmark(quick=True)
+    q = report["queue"]
+    assert q["overall_ops_per_sec"] > 5.0  # durable ops, generous floor
+    assert report["scheduler"]["claim_order_ms"] < 1_000.0
+    # orchestration must not dominate even jobs this tiny (~10 steps)
+    assert report["campaign"]["orchestration_fraction"] < 0.9
+    print("\n" + render(report))
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="smaller job counts (CI smoke run)")
+    ap.add_argument("--json", type=pathlib.Path, default=None,
+                    help="write the machine-readable report here")
+    args = ap.parse_args()
+    report = run_benchmark(quick=args.quick)
+    text = render(report)
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "jobs_throughput.txt").write_text(text + "\n")
+    if args.json is not None:
+        args.json.write_text(json.dumps(report, indent=2) + "\n")
+
+
+if __name__ == "__main__":
+    main()

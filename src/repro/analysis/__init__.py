@@ -33,9 +33,11 @@ from .convergence import (
 )
 from .cost_model import (
     PAPER_TABLE4,
+    JobCost,
     ProductionEstimate,
     estimate_octants,
     estimate_production_run,
+    estimate_run_cost,
     table4,
 )
 from .resolution import PAPER_TABLE1, Table1Row, table1, table1_row
@@ -64,10 +66,12 @@ __all__ = [
     "richardson_extrapolate",
     "scaled_difference_overlap",
     "PAPER_TABLE4",
+    "JobCost",
     "ProductionEstimate",
     "Table1Row",
     "estimate_octants",
     "estimate_production_run",
+    "estimate_run_cost",
     "table1",
     "table1_row",
     "table4",

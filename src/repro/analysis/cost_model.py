@@ -106,6 +106,68 @@ def _default_study() -> ScalingStudy:
     return ScalingStudy(mesh)
 
 
+# -- per-job cost estimation (repro.jobs scheduler API) -------------------
+
+@dataclass(frozen=True)
+class JobCost:
+    """§III-D cost estimate for one :class:`repro.io.RunConfig` run.
+
+    ``per_step_seconds``/``total_seconds`` are *modeled device* times
+    (A100 kernel model) — useful as a relative workload measure for
+    scheduling and for predicted-vs-actual proportionality checks, not as
+    host wall-clock predictions.
+    """
+
+    octants: int
+    steps: int
+    dof: int
+    per_step_seconds: float
+    total_seconds: float
+
+
+@lru_cache(maxsize=2)
+def _estimator_study(dof: int) -> ScalingStudy:
+    mesh = Mesh(bbh_grid(mass_ratio=2.0, max_level=6, base_level=3))
+    return ScalingStudy(mesh, dof=dof)
+
+
+_JOB_COST_CACHE: dict[str, JobCost] = {}
+
+
+def estimate_run_cost(config, *, study: ScalingStudy | None = None,
+                      ranks: int = 1) -> JobCost:
+    """Cost estimate for one run config: octant count × per-step device
+    time × timesteps.
+
+    The octant count comes from the config's *real* octree (cheap: key
+    arrays only, no Mesh plans); timesteps from the Courant-limited dt on
+    that tree; per-step time from the §III-D kernel model at the config's
+    dof (24 for BSSN, 2 for the wave system).  Results are memoised by
+    :meth:`repro.io.RunConfig.cache_key`, so schedulers can re-estimate
+    freely.
+    """
+    memoised = study is None and ranks == 1
+    key = config.cache_key() if memoised else None
+    if memoised and key in _JOB_COST_CACHE:
+        return _JOB_COST_CACHE[key]
+    tree = config.build_tree()
+    octants = len(tree)
+    r = 7  # Mesh default patch size
+    min_dx = float(tree.domain.octant_dx(tree.levels, r).min())
+    steps = max(1, int(np.ceil(config.t_end / (config.courant * min_dx))))
+    dof = 2 if config.solver == "wave" else 24
+    if study is None:
+        study = _estimator_study(dof)
+    per_step = study.point(octants * r**3, ranks).total
+    cost = JobCost(
+        octants=octants, steps=steps, dof=dof,
+        per_step_seconds=per_step, total_seconds=steps * per_step,
+    )
+    if memoised:
+        _JOB_COST_CACHE[key] = cost
+    return cost
+
+
 def table4() -> list[tuple[dict, ProductionEstimate]]:
     """(paper row, our estimate) pairs for q = 1, 2, 4, 8."""
     out = []

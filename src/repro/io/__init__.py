@@ -5,6 +5,7 @@ from .checkpoint import (
     find_latest_valid,
     load_checkpoint,
     restore_solver,
+    restore_wave_solver,
     rotate_checkpoints,
     save_checkpoint,
     verify_checkpoint,
@@ -24,6 +25,7 @@ __all__ = [
     "save_modes",
     "preset",
     "restore_solver",
+    "restore_wave_solver",
     "save_checkpoint",
     "verify_checkpoint",
 ]

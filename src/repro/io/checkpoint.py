@@ -97,6 +97,8 @@ def save_checkpoint(path, solver, *, keep: int | None = None,
     params = getattr(solver, "params", None)
     meta = {
         "version": FORMAT_VERSION,
+        "solver_class": type(solver).__name__,
+        "nvars": int(solver.state.shape[0]),
         "t": solver.t,
         "step_count": solver.step_count,
         "courant": solver.courant,
@@ -209,7 +211,8 @@ def load_checkpoint(path, *, verify: bool = True, check_balance: bool = True):
         )
     mesh = Mesh(tree, r=meta["r"], k=meta["k"])
     state = arrays["state"]
-    expect = (S.NUM_VARS, mesh.num_octants, mesh.r, mesh.r, mesh.r)
+    nvars = meta.get("nvars") or S.NUM_VARS
+    expect = (nvars, mesh.num_octants, mesh.r, mesh.r, mesh.r)
     if state.shape != expect:
         raise CheckpointError(
             f"checkpoint state has shape {state.shape}, expected {expect}"
@@ -277,6 +280,12 @@ def restore_solver(path, params=None):
     from repro.solver import BSSNSolver, PunctureTracker
 
     mesh, state, meta = load_checkpoint(path)
+    if state.shape[0] != S.NUM_VARS:
+        raise CheckpointError(
+            f"checkpoint {path} holds a {state.shape[0]}-variable "
+            f"{meta.get('solver_class', 'unknown')} state, not a BSSN one; "
+            "use restore_wave_solver"
+        )
     if params is None:
         if meta.get("params") is not None:
             params = BSSNParams(**meta["params"])
@@ -294,4 +303,32 @@ def restore_solver(path, params=None):
         solver.tracker = PunctureTracker(
             punctures["positions"], punctures["masses"]
         )
+    return solver
+
+
+def restore_wave_solver(path, *, speed: float = 1.0, ko_sigma: float = 0.1,
+                        source=None, **solver_kwargs):
+    """Build a ready-to-run :class:`repro.solver.WaveSolver` from a
+    checkpoint of a 2-variable (φ, π) wave state.
+
+    The checkpoint restores the mesh, field values, time, step count and
+    Courant factor exactly; the wave *physics* (speed, dissipation,
+    source) is not persisted — callers re-supply it from the original
+    run configuration (:mod:`repro.jobs` keeps the job spec as the
+    source of truth), so a resumed evolution is bitwise-identical to an
+    uninterrupted one.
+    """
+    from repro.solver import WaveSolver
+
+    mesh, state, meta = load_checkpoint(path)
+    if state.shape[0] != 2:
+        raise CheckpointError(
+            f"checkpoint {path} holds a {state.shape[0]}-variable state, "
+            "not a 2-variable wave one; use restore_solver"
+        )
+    solver = WaveSolver(mesh, speed=speed, courant=meta["courant"],
+                        ko_sigma=ko_sigma, source=source, **solver_kwargs)
+    solver.state = np.ascontiguousarray(state)
+    solver.t = meta["t"]
+    solver.step_count = meta["step_count"]
     return solver

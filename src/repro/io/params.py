@@ -10,13 +10,16 @@ runnable at toy scale.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
 from dataclasses import asdict, dataclass, field
 
+import numpy as np
+
 from repro.bssn import BSSNParams, binary_punctures
 from repro.mesh import Mesh
-from repro.octree import Domain, bbh_grid
+from repro.octree import Domain, LinearOctree, bbh_grid
 
 
 @dataclass
@@ -24,6 +27,9 @@ class RunConfig:
     """One solver run, serialisable to/from JSON."""
 
     name: str = "run"
+    #: physics/solver kind: "bssn" (binary punctures on a graded grid) or
+    #: "wave" (linear wave pulse on a uniform base grid + AMR regridding)
+    solver: str = "bssn"
     # binary
     mass_ratio: float = 1.0
     separation: float = 8.0
@@ -69,19 +75,51 @@ class RunConfig:
 
     @classmethod
     def load(cls, path) -> "RunConfig":
-        """Read a JSON parameter file."""
-        return cls.from_json(pathlib.Path(path).read_text())
+        """Read a JSON parameter file (validated — a malformed spec fails
+        here, at submit time, not later inside a worker)."""
+        cfg = cls.from_json(pathlib.Path(path).read_text())
+        cfg.validate()
+        return cfg
 
     def validate(self) -> None:
         """Raise ValueError on inconsistent parameters."""
+        if self.solver not in ("bssn", "wave"):
+            raise ValueError("solver must be 'bssn' or 'wave'")
         if self.mass_ratio < 1.0:
             raise ValueError("mass_ratio is m1/m2 with m1 >= m2, so q >= 1")
         if not 0 <= self.base_level <= self.max_level:
             raise ValueError("need 0 <= base_level <= max_level")
         if self.courant <= 0 or self.courant > 1:
             raise ValueError("courant factor must be in (0, 1]")
+        if self.t_end <= 0:
+            raise ValueError("t_end must be positive")
         if any(r >= self.domain_half_width for r in self.extraction_radii):
             raise ValueError("extraction spheres must fit inside the domain")
+
+    # -- identity ----------------------------------------------------------
+    def cache_key(self) -> str:
+        """Canonical content hash of the *physics* of this configuration.
+
+        The hash is order-independent (sorted keys), numerically
+        normalised (every float-typed field is hashed as a float, so a
+        JSON file carrying ``1`` instead of ``1.0`` keys identically),
+        and round-trip-stable through :meth:`to_json` / :meth:`from_json`.
+        ``name`` is a label, not physics, and is excluded — two specs
+        differing only in name share results.
+        """
+        payload = asdict(self)
+        payload.pop("name")
+        for key, f in self.__dataclass_fields__.items():
+            if key not in payload:
+                continue
+            if f.type == "float":
+                payload[key] = float(payload[key])
+            elif f.type == "int":
+                payload[key] = int(payload[key])
+            elif f.type == "list[float]":
+                payload[key] = [float(v) for v in payload[key]]
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
 
     # -- builders ----------------------------------------------------------
     def bssn_params(self) -> BSSNParams:
@@ -93,9 +131,20 @@ class RunConfig:
             use_upwind=self.use_upwind,
         )
 
-    def build_mesh(self) -> Mesh:
-        """Construct the balanced BBH mesh for this configuration."""
-        tree = bbh_grid(
+    def build_tree(self) -> LinearOctree:
+        """The balanced octree for this configuration (no Mesh plans).
+
+        BSSN runs get the puncture-graded binary grid; wave runs start
+        from a uniform base grid and rely on wavelet re-gridding (up to
+        ``max_level``) during the evolution, matching the Fig. 19/21
+        wave-propagation experiments.
+        """
+        if self.solver == "wave":
+            return LinearOctree.uniform(
+                self.base_level,
+                domain=Domain(-self.domain_half_width, self.domain_half_width),
+            )
+        return bbh_grid(
             mass_ratio=self.mass_ratio,
             separation=self.separation,
             total_mass=self.total_mass,
@@ -104,7 +153,10 @@ class RunConfig:
             domain=Domain(-self.domain_half_width, self.domain_half_width),
             theta=self.refine_theta,
         )
-        return Mesh(tree)
+
+    def build_mesh(self) -> Mesh:
+        """Construct the balanced mesh for this configuration."""
+        return Mesh(self.build_tree())
 
     def build_punctures(self):
         """The run's puncture list."""
@@ -116,10 +168,28 @@ class RunConfig:
         )
 
     def build_solver(self):
-        """Mesh + initial data + solver, ready to step."""
+        """Mesh + initial data + solver, ready to step.
+
+        ``solver="wave"`` builds a :class:`repro.solver.WaveSolver` with a
+        deterministic Gaussian φ pulse (width 1.5, unit amplitude) as
+        initial data — the free evolution is fully determined by the
+        config, which is what makes job results content-addressable.
+        """
+        self.validate()
+        if self.solver == "wave":
+            from repro.solver import WaveSolver
+
+            solver = WaveSolver(
+                self.build_mesh(),
+                courant=self.courant,
+                ko_sigma=self.ko_sigma,
+            )
+            coords = solver.coords()
+            r2 = (coords**2).sum(axis=-1)
+            solver.state[0] = np.exp(-r2 / 1.5**2)
+            return solver
         from repro.solver import BSSNSolver
 
-        self.validate()
         solver = BSSNSolver(
             self.build_mesh(), self.bssn_params(), courant=self.courant
         )

@@ -1,0 +1,98 @@
+"""Content-addressed result cache.
+
+Results are keyed by :meth:`repro.io.RunConfig.cache_key` — a canonical
+hash of the physics of the job spec — so resubmitting an identical
+configuration (regardless of its label or field order in the JSON file)
+is served from the cache without executing a single solver step.
+
+Layout: one directory per key under the cache root, holding
+``result.json`` (the worker's result payload) and optionally
+``arrays.npz`` (extracted waveforms or other array outputs).  Writes are
+atomic: everything lands in a same-filesystem temp directory that is
+``os.rename``d into place, so readers never observe a partial entry and
+concurrent writers of the same key race benignly (first rename wins,
+the loser discards its copy — both computed identical physics).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import shutil
+
+import numpy as np
+
+RESULT_FILE = "result.json"
+ARRAYS_FILE = "arrays.npz"
+
+
+class ResultCache:
+    """Directory-backed cache of completed job results."""
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _entry(self, key: str) -> pathlib.Path:
+        if not key or "/" in key or key.startswith("."):
+            raise ValueError(f"malformed cache key {key!r}")
+        return self.root / key
+
+    def get(self, key: str) -> dict | None:
+        """The cached result payload for ``key``, or None."""
+        path = self._entry(key) / RESULT_FILE
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def arrays(self, key: str) -> dict[str, np.ndarray] | None:
+        """Cached array outputs for ``key``, or None."""
+        path = self._entry(key) / ARRAYS_FILE
+        if not path.exists():
+            return None
+        with np.load(path) as data:
+            return {name: np.array(data[name]) for name in data.files}
+
+    def put(self, key: str, result: dict,
+            arrays: dict[str, np.ndarray] | None = None) -> dict:
+        """Atomically store ``result`` (+ arrays) under ``key``.
+
+        If an entry already exists — another worker finished the
+        identical spec first — it is kept and returned unchanged.
+        """
+        entry = self._entry(key)
+        existing = self.get(key)
+        if existing is not None:
+            return existing
+        tmp = self.root / f".tmp-{key[:16]}-{os.getpid()}"
+        shutil.rmtree(tmp, ignore_errors=True)
+        tmp.mkdir()
+        try:
+            (tmp / RESULT_FILE).write_text(
+                json.dumps(result, indent=2, default=str) + "\n",
+                encoding="utf-8",
+            )
+            if arrays:
+                with open(tmp / ARRAYS_FILE, "wb") as fh:
+                    np.savez_compressed(fh, **arrays)
+            try:
+                os.rename(tmp, entry)
+            except OSError:
+                # lost the race: an identical result landed first
+                shutil.rmtree(tmp, ignore_errors=True)
+                return self.get(key) or result
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        return result
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return sum(
+            1 for p in self.root.iterdir()
+            if p.is_dir() and not p.name.startswith(".")
+            and (p / RESULT_FILE).exists()
+        )

@@ -1,0 +1,318 @@
+"""``python -m repro.jobs`` — campaign orchestration CLI.
+
+Subcommands::
+
+    submit      <campaign> -p file.json [...] [--sweep FIELD V1,V2,..]
+    run-workers <campaign> -n N
+    status      <campaign>
+    cancel      <campaign> JOB_ID
+    report      <campaign> [--json OUT]
+    demo        [-d DIR] [-n WORKERS]   # the CI end-to-end smoke campaign
+
+``demo`` builds and drives a full campaign on tiny wave-solver configs:
+six jobs across three workers, including one fault-injected job (NaN
+burst → supervised rollback), one duplicate spec (served from the
+result cache, zero solver steps), and one preemption (a high-priority
+submit checkpoints a running job, which later resumes and finishes
+bitwise-identical to its uninterrupted counterpart, verified against an
+in-process reference run).  Exit status 0 only if every check passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.io import RunConfig
+
+
+def _add_campaign(p):
+    p.add_argument("campaign", help="campaign directory")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.jobs",
+        description="campaign orchestration: queue, workers, reports",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("submit", help="submit job specs to a campaign")
+    _add_campaign(p)
+    p.add_argument("-p", "--param", action="append", default=[],
+                   help="RunConfig JSON parameter file (repeatable)")
+    p.add_argument("--preset", action="append", default=[],
+                   help="bundled preset name, e.g. q1 (repeatable)")
+    p.add_argument("--sweep", metavar="FIELD=V1,V2,..",
+                   help="submit one job per value of FIELD, applied to "
+                        "every -p/--preset base spec")
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument("--fault-step", type=int, action="append", default=[],
+                   help="inject a NaN burst at this solver step "
+                        "(repeatable; deterministic test harness)")
+    p.add_argument("--preempt", action="store_true",
+                   help="request preemption of a lower-priority running "
+                        "job on submit")
+    p.add_argument("--max-pending", type=int, default=None,
+                   help="admission control: reject when the backlog is "
+                        "this deep")
+
+    p = sub.add_parser("run-workers", help="drain the queue with N workers")
+    _add_campaign(p)
+    p.add_argument("-n", "--workers", type=int, default=2)
+    p.add_argument("--timeout", type=float, default=None,
+                   help="overall seconds before giving up")
+
+    p = sub.add_parser("status", help="queue counts, per-job states, "
+                                      "predicted makespan")
+    _add_campaign(p)
+    p.add_argument("--json", dest="json_out", default=None)
+
+    p = sub.add_parser("cancel", help="cancel a pending job")
+    _add_campaign(p)
+    p.add_argument("job_id")
+
+    p = sub.add_parser("report", help="aggregate the campaign report")
+    _add_campaign(p)
+    p.add_argument("--json", dest="json_out", default=None,
+                   help="also write the JSON report here "
+                        "(default: <campaign>/report.json)")
+
+    p = sub.add_parser("demo", help="end-to-end smoke campaign (CI gate)")
+    p.add_argument("-d", "--dir", default="jobs-demo",
+                   help="campaign directory (default: jobs-demo)")
+    p.add_argument("-n", "--workers", type=int, default=3)
+    p.add_argument("--timeout", type=float, default=600.0)
+    return parser
+
+
+def _load_specs(args) -> list[RunConfig]:
+    from repro.io import preset
+
+    specs = [RunConfig.load(path) for path in args.param]
+    specs += [preset(name) for name in args.preset]
+    if not specs:
+        raise SystemExit("submit: need at least one -p file or --preset")
+    return specs
+
+
+def cmd_submit(args) -> int:
+    from .campaign import Campaign
+
+    campaign = Campaign(args.campaign, max_pending=args.max_pending)
+    records = []
+    for cfg in _load_specs(args):
+        if args.sweep:
+            field, _, raw = args.sweep.partition("=")
+            values = [json.loads(v) for v in raw.split(",")]
+            records += campaign.submit_sweep(cfg, field, values,
+                                             priority=args.priority)
+        else:
+            records.append(campaign.submit(
+                cfg, priority=args.priority,
+                fault_steps=tuple(args.fault_step),
+                preempt=args.preempt,
+            ))
+    for rec in records:
+        cost = rec.get("cost") or {}
+        print(f"submitted {rec['id']}  priority={rec['priority']}  "
+              f"predicted={cost.get('total_seconds', 0.0):.3f}s "
+              f"({cost.get('octants', '?')} octants × "
+              f"{cost.get('steps', '?')} steps)")
+    return 0
+
+
+def cmd_run_workers(args) -> int:
+    from .campaign import Campaign
+
+    ok = Campaign(args.campaign).run_workers(args.workers,
+                                             timeout=args.timeout)
+    if not ok:
+        print("run-workers: timed out before the queue drained",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_status(args) -> int:
+    from .campaign import Campaign
+
+    status = Campaign(args.campaign).status()
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(status, fh, indent=2)
+    c = status["counts"]
+    print("queue: " + "  ".join(f"{k}={v}" for k, v in c.items()))
+    print(f"predicted makespan: "
+          f"{status['predicted_makespan_seconds']:.3f}s (device model)")
+    for jid, j in status["jobs"].items():
+        print(f"  {jid:28s} {j['state']:9s} prio={j['priority']:3d} "
+              f"attempts={j['attempts']} preempts={j['preemptions']} "
+              f"predicted={j['predicted_seconds']:.3f}s")
+    return 0
+
+
+def cmd_cancel(args) -> int:
+    from .queue import JobError, JobQueue
+
+    try:
+        rec = JobQueue(args.campaign).cancel(args.job_id)
+    except JobError as exc:
+        print(f"cancel: {exc}", file=sys.stderr)
+        return 1
+    print(f"cancelled {rec['id']}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .campaign import campaign_report, render_report, write_report
+
+    report = campaign_report(args.campaign)
+    path = write_report(args.campaign, report)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, default=str)
+    print(render_report(report))
+    print(f"report written to {path}")
+    return 0
+
+
+# -- the CI smoke campaign ------------------------------------------------
+
+def _demo_config(name: str, t_end: float) -> RunConfig:
+    return RunConfig(
+        name=name, solver="wave", domain_half_width=8.0,
+        base_level=2, max_level=3, t_end=t_end, courant=0.25,
+        ko_sigma=0.05, regrid_every=8, regrid_eps=3e-5,
+        extraction_radii=[4.0],
+    )
+
+
+def cmd_demo(args) -> int:
+    from repro.resilience import SupervisedRun
+    from .campaign import Campaign, campaign_report, render_report, \
+        write_report
+    from .pool import WorkerPool
+    from .worker import state_digest
+
+    root = args.dir
+    campaign = Campaign(root)
+    checks: list[tuple[str, bool, str]] = []
+
+    def check(label: str, ok: bool, detail: str = "") -> None:
+        checks.append((label, bool(ok), detail))
+        print(f"  [{'PASS' if ok else 'FAIL'}] {label}"
+              + (f" — {detail}" if detail else ""))
+
+    # the preemption target is the longest job; its uninterrupted twin
+    # runs in-process below and the final states must match bitwise
+    target_cfg = _demo_config("preempt-target", t_end=14.0)
+    base_cfgs = [_demo_config(f"wave-{i}", t_end=6.0 + i) for i in range(3)]
+    fault_cfg = _demo_config("faulty", t_end=6.5)
+    urgent_cfg = _demo_config("urgent", t_end=5.5)
+
+    print(f"demo campaign in {root}: submitting jobs")
+    target = campaign.submit(target_cfg)
+    for cfg in base_cfgs:
+        campaign.submit(cfg)
+    campaign.submit(fault_cfg, fault_steps=(6,))
+    # duplicate of wave-0 (different label, identical physics) at the
+    # lowest priority: claimed last, served from the result cache
+    dup_cfg = _demo_config("wave-0-duplicate", t_end=6.0)
+    dup = campaign.submit(dup_cfg, priority=-1)
+
+    print(f"reference run for {target['id']} (uninterrupted twin)")
+    ref_solver = target_cfg.build_solver()
+    SupervisedRun(ref_solver).run(
+        target_cfg.t_end, regrid_every=target_cfg.regrid_every,
+        regrid_eps=target_cfg.regrid_eps, max_level=target_cfg.max_level,
+    )
+    ref_digest = state_digest(ref_solver.state)
+
+    print(f"starting {args.workers} workers")
+    pool = WorkerPool(root, args.workers).start()
+    try:
+        # wait for the target to be claimed, then submit the urgent job
+        # with auto-preemption
+        deadline = time.monotonic() + args.timeout
+        while time.monotonic() < deadline:
+            state = campaign.queue.jobs()[target["id"]]["state"]
+            if state != "pending":
+                break
+            time.sleep(0.05)
+        if campaign.queue.jobs()[target["id"]]["state"] == "running":
+            campaign.submit(urgent_cfg, priority=10, preempt=True)
+            print(f"submitted urgent job; preemption requested for "
+                  f"{target['id']}")
+        else:
+            campaign.submit(urgent_cfg, priority=10)
+            print("target finished before preemption could be requested")
+        drained = pool.join(max(1.0, deadline - time.monotonic()))
+    finally:
+        pool.terminate()
+    check("workers drained the queue", drained)
+
+    jobs = campaign.queue.jobs()
+    check("≥6 jobs in campaign", len(jobs) >= 6, f"{len(jobs)} jobs")
+    bad = {jid: r["state"] for jid, r in jobs.items() if r["state"] != "done"}
+    check("every job completed", not bad, str(bad) if bad else "")
+
+    dup_rec = jobs[dup["id"]]
+    dup_res = dup_rec.get("result") or {}
+    check("duplicate spec served from cache",
+          bool(dup_res.get("cached")) and dup_res.get("steps_executed") == 0,
+          f"cached={dup_res.get('cached')} "
+          f"steps={dup_res.get('steps_executed')}")
+
+    fault_rec = next(r for r in jobs.values()
+                     if r["config"]["name"] == "faulty")
+    fault_res = fault_rec.get("result") or {}
+    check("fault-injected job recovered via rollback",
+          (fault_res.get("rollbacks") or 0) >= 1,
+          f"rollbacks={fault_res.get('rollbacks')}")
+
+    tgt_rec = jobs[target["id"]]
+    tgt_res = tgt_rec.get("result") or {}
+    check("target was preempted and resumed",
+          tgt_rec["preemptions"] >= 1 and tgt_rec["attempts"] >= 2,
+          f"preemptions={tgt_rec['preemptions']} "
+          f"attempts={tgt_rec['attempts']}")
+    check("preempted run matches uninterrupted twin bitwise",
+          tgt_res.get("state_sha256") == ref_digest,
+          f"{str(tgt_res.get('state_sha256'))[:12]}… vs {ref_digest[:12]}…")
+
+    report = campaign_report(root)
+    priced = [j for j in report["jobs"]
+              if j["predicted_seconds"] and (j["actual_wall_seconds"]
+                                             or j["cached"])]
+    check("report carries predicted-vs-actual cost per job",
+          len(priced) == len(report["jobs"]),
+          f"{len(priced)}/{len(report['jobs'])} jobs priced")
+    path = write_report(root, report)
+    print()
+    print(render_report(report))
+    print(f"report written to {path}")
+
+    failed = [label for label, ok, _ in checks if not ok]
+    if failed:
+        print(f"\ndemo FAILED: {failed}", file=sys.stderr)
+        return 1
+    print("\ndemo PASSED: all checks green")
+    return 0
+
+
+COMMANDS = {
+    "submit": cmd_submit,
+    "run-workers": cmd_run_workers,
+    "status": cmd_status,
+    "cancel": cmd_cancel,
+    "report": cmd_report,
+    "demo": cmd_demo,
+}
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)

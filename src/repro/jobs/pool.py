@@ -1,0 +1,74 @@
+"""Multiprocessing worker pool for a campaign directory.
+
+Workers are independent OS processes (spawn context by default — no
+inherited locks or numpy state) that coordinate exclusively through the
+file-backed :class:`repro.jobs.JobQueue`, so a pool can be grown,
+killed, or restarted at any time without losing work: dead workers'
+jobs are reaped and resumed from their checkpoints.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pathlib
+import time
+
+from .worker import worker_main
+
+
+class WorkerPool:
+    """N worker processes draining one campaign queue."""
+
+    def __init__(self, root, n_workers: int, *, ctx: str = "spawn"):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.root = pathlib.Path(root)
+        self.n_workers = n_workers
+        self._ctx = mp.get_context(ctx)
+        self.processes: list[mp.Process] = []
+
+    def start(self) -> "WorkerPool":
+        """Launch the worker processes (idempotent once started)."""
+        if self.processes:
+            return self
+        for i in range(self.n_workers):
+            p = self._ctx.Process(
+                target=worker_main, args=(str(self.root), f"w{i}"),
+                name=f"repro-jobs-w{i}",
+            )
+            p.start()
+            self.processes.append(p)
+        return self
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait for every worker to exit; returns True if all did.
+
+        With a ``timeout``, waits up to that many seconds *total* and
+        returns False (without killing anything) when workers remain.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for p in self.processes:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            p.join(remaining)
+        return all(p.exitcode is not None for p in self.processes)
+
+    def terminate(self) -> None:
+        """Hard-kill every worker still alive (their running jobs stay
+        ``running`` in the queue until a reaper requeues them)."""
+        for p in self.processes:
+            if p.is_alive():
+                p.terminate()
+        for p in self.processes:
+            p.join(5.0)
+
+    def alive(self) -> int:
+        """Number of workers still running."""
+        return sum(1 for p in self.processes if p.is_alive())
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.terminate()

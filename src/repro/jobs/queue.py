@@ -1,0 +1,357 @@
+"""Crash-safe persistent job queue (file-backed JSONL journal).
+
+The queue is one append-only journal of state-transition operations —
+``submit`` / ``claim`` / ``done`` / ``failed`` / ``requeue`` /
+``cancel`` / ``preempt-request`` — replayed into the current job table
+on every read.  All mutations happen under an exclusive file lock, and
+every append is flushed + fsynced before the lock is released, so:
+
+* two workers can never claim the same job (the claim append is atomic
+  under the lock, and claim re-reads the table first);
+* a worker killed mid-job leaves a ``running`` entry whose recorded pid
+  is dead; :meth:`JobQueue.reap` detects that and requeues the job —
+  with its checkpoint directory intact, the next worker resumes it;
+* a crash mid-append leaves at most one torn final line, which replay
+  skips (the op never happened — exactly the pre-append state).
+
+Job selection inside :meth:`claim` delegates to
+:func:`repro.jobs.scheduler.claim_order` (priority classes, then
+shortest-predicted-job-first) and defers any pending job whose
+``cache_key`` matches a run already in flight — the duplicate waits and
+is then served from the result cache instead of recomputing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+from contextlib import contextmanager
+
+try:  # POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+QUEUE_FILE = "queue.jsonl"
+LOCK_FILE = "queue.lock"
+
+#: job lifecycle states
+PENDING, RUNNING, DONE, FAILED, CANCELLED = (
+    "pending", "running", "done", "failed", "cancelled",
+)
+
+
+class QueueSaturated(RuntimeError):
+    """Admission control rejected a submit: the queue's pending backlog
+    is at ``max_pending`` (backpressure — resubmit later)."""
+
+
+class JobError(ValueError):
+    """An operation referenced a job in an incompatible state."""
+
+
+def _new_record(job_id: str, config: dict, *, cache_key: str, priority: int,
+                fault_steps, cost: dict | None, seq: int) -> dict:
+    return {
+        "id": job_id,
+        "config": config,
+        "cache_key": cache_key,
+        "priority": int(priority),
+        "fault_steps": [int(s) for s in fault_steps],
+        "cost": cost,
+        "seq": seq,
+        "state": PENDING,
+        "submitted": time.time(),
+        "claimed": None,
+        "finished": None,
+        "worker": None,
+        "pid": None,
+        "lease": None,
+        "attempts": 0,
+        "preemptions": 0,
+        "preempt_requested": False,
+        "checkpoint": None,
+        "result": None,
+        "error": None,
+    }
+
+
+class JobQueue:
+    """Persistent queue rooted at ``root`` (a campaign directory).
+
+    ``max_pending`` bounds the pending backlog (admission control);
+    ``lease_seconds`` is the running-job lease after which
+    :meth:`reap` considers a claim stale even if its pid looks alive
+    (None disables the time-based check — pid death alone requeues).
+    """
+
+    def __init__(self, root, *, max_pending: int | None = None,
+                 lease_seconds: float | None = None):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.path = self.root / QUEUE_FILE
+        self._lock_path = self.root / LOCK_FILE
+        self.max_pending = max_pending
+        self.lease_seconds = lease_seconds
+
+    # -- locking / journal plumbing -------------------------------------
+    @contextmanager
+    def _locked(self):
+        if fcntl is not None:
+            with open(self._lock_path, "a+") as fh:
+                fcntl.flock(fh, fcntl.LOCK_EX)
+                try:
+                    yield
+                finally:
+                    fcntl.flock(fh, fcntl.LOCK_UN)
+        else:  # pragma: no cover - non-POSIX: atomic-mkdir spinlock
+            lockdir = self._lock_path.with_suffix(".d")
+            while True:
+                try:
+                    os.mkdir(lockdir)
+                    break
+                except FileExistsError:
+                    time.sleep(0.005)
+            try:
+                yield
+            finally:
+                os.rmdir(lockdir)
+
+    def _append(self, op: dict) -> None:
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(op, separators=(",", ":")) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def _ops(self) -> list[dict]:
+        if not self.path.exists():
+            return []
+        ops = []
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                ops.append(json.loads(line))
+            except json.JSONDecodeError:
+                if i == len(lines) - 1:
+                    continue  # torn final line: the op never happened
+                raise
+        return ops
+
+    @staticmethod
+    def _replay(ops: list[dict]) -> dict[str, dict]:
+        jobs: dict[str, dict] = {}
+        for op in ops:
+            kind = op.get("op")
+            if kind == "submit":
+                jobs[op["job"]["id"]] = dict(op["job"])
+                continue
+            rec = jobs.get(op.get("id"))
+            if rec is None:
+                continue  # op for an unknown job: ignore
+            if kind == "claim":
+                rec.update(state=RUNNING, worker=op["worker"], pid=op["pid"],
+                           lease=op["wall"], attempts=rec["attempts"] + 1)
+                if rec["claimed"] is None:
+                    rec["claimed"] = op["wall"]
+            elif kind == "done":
+                rec.update(state=DONE, result=op.get("result"),
+                           finished=op["wall"], preempt_requested=False)
+            elif kind == "failed":
+                rec.update(state=FAILED, error=op.get("error"),
+                           finished=op["wall"], preempt_requested=False)
+            elif kind == "requeue":
+                rec.update(state=PENDING, worker=None, pid=None, lease=None,
+                           preempt_requested=False)
+                if op.get("checkpoint"):
+                    rec["checkpoint"] = op["checkpoint"]
+                if op.get("reason") == "preempt":
+                    rec["preemptions"] += 1
+            elif kind == "cancel":
+                rec.update(state=CANCELLED, finished=op["wall"])
+            elif kind == "preempt-request":
+                if rec["state"] == RUNNING:
+                    rec["preempt_requested"] = True
+        return jobs
+
+    # -- reads -----------------------------------------------------------
+    def jobs(self) -> dict[str, dict]:
+        """Current job table (replayed from the journal)."""
+        with self._locked():
+            return self._replay(self._ops())
+
+    def counts(self) -> dict[str, int]:
+        """Number of jobs per state."""
+        out = {s: 0 for s in (PENDING, RUNNING, DONE, FAILED, CANCELLED)}
+        for rec in self.jobs().values():
+            out[rec["state"]] += 1
+        return out
+
+    def drained(self) -> bool:
+        """True when no job is pending or running."""
+        c = self.counts()
+        return c[PENDING] == 0 and c[RUNNING] == 0
+
+    def preempt_requested(self, job_id: str) -> bool:
+        """Poll whether a preemption was requested for a running job."""
+        rec = self.jobs().get(job_id)
+        return bool(rec and rec["preempt_requested"])
+
+    # -- transitions ------------------------------------------------------
+    def submit(self, config: dict, *, cache_key: str, priority: int = 0,
+               fault_steps=(), cost: dict | None = None,
+               name: str | None = None) -> dict:
+        """Append one pending job; returns its record.
+
+        Raises :class:`QueueSaturated` when the pending backlog is at
+        ``max_pending`` — the campaign driver's backpressure signal.
+        """
+        with self._locked():
+            ops = self._ops()
+            jobs = self._replay(ops)
+            if self.max_pending is not None:
+                backlog = sum(
+                    1 for r in jobs.values() if r["state"] == PENDING
+                )
+                if backlog >= self.max_pending:
+                    raise QueueSaturated(
+                        f"queue holds {backlog} pending jobs "
+                        f"(max_pending={self.max_pending})"
+                    )
+            seq = sum(1 for op in ops if op.get("op") == "submit")
+            label = name or config.get("name") or "job"
+            job_id = f"j{seq:04d}-{label}"
+            rec = _new_record(job_id, config, cache_key=cache_key,
+                              priority=priority, fault_steps=fault_steps,
+                              cost=cost, seq=seq)
+            self._append({"op": "submit", "job": rec})
+            return rec
+
+    def claim(self, worker: str) -> dict | None:
+        """Atomically claim the best claimable pending job, or None.
+
+        Selection follows :func:`repro.jobs.scheduler.claim_order`;
+        pending jobs whose ``cache_key`` matches a job already running
+        are deferred (in-flight dedup — they will hit the result cache).
+        """
+        from .scheduler import claim_order  # no cycle: scheduler is pure
+
+        with self._locked():
+            jobs = self._replay(self._ops())
+            in_flight = {
+                r["cache_key"] for r in jobs.values() if r["state"] == RUNNING
+            }
+            candidates = [
+                r for r in claim_order(jobs.values())
+                if r["cache_key"] not in in_flight
+            ]
+            if not candidates:
+                return None
+            rec = candidates[0]
+            wall = time.time()
+            self._append({"op": "claim", "id": rec["id"], "worker": worker,
+                          "pid": os.getpid(), "wall": wall})
+            rec.update(state=RUNNING, worker=worker, pid=os.getpid(),
+                       lease=wall, attempts=rec["attempts"] + 1)
+            if rec["claimed"] is None:
+                rec["claimed"] = wall
+            return rec
+
+    def _transition(self, job_id: str, from_states, op: dict) -> dict:
+        with self._locked():
+            jobs = self._replay(self._ops())
+            rec = jobs.get(job_id)
+            if rec is None:
+                raise JobError(f"unknown job {job_id!r}")
+            if rec["state"] not in from_states:
+                raise JobError(
+                    f"job {job_id} is {rec['state']}, expected one of "
+                    f"{sorted(from_states)}"
+                )
+            self._append(op)
+            return self._replay(self._ops())[job_id]
+
+    def complete(self, job_id: str, result: dict | None = None) -> dict:
+        """running → done (with the worker's result payload)."""
+        return self._transition(job_id, {RUNNING}, {
+            "op": "done", "id": job_id, "result": result,
+            "wall": time.time(),
+        })
+
+    def fail(self, job_id: str, error: str) -> dict:
+        """running → failed (terminal; the error string is recorded)."""
+        return self._transition(job_id, {RUNNING}, {
+            "op": "failed", "id": job_id, "error": str(error),
+            "wall": time.time(),
+        })
+
+    def requeue(self, job_id: str, *, checkpoint=None,
+                reason: str = "requeue") -> dict:
+        """running → pending (preemption or reaped dead worker).
+
+        ``checkpoint`` records the directory the next claimant resumes
+        from; ``reason='preempt'`` increments the preemption counter.
+        """
+        return self._transition(job_id, {RUNNING}, {
+            "op": "requeue", "id": job_id,
+            "checkpoint": str(checkpoint) if checkpoint else None,
+            "reason": reason, "wall": time.time(),
+        })
+
+    def cancel(self, job_id: str) -> dict:
+        """pending → cancelled (running jobs must be preempted instead)."""
+        return self._transition(job_id, {PENDING}, {
+            "op": "cancel", "id": job_id, "wall": time.time(),
+        })
+
+    def request_preempt(self, job_id: str) -> bool:
+        """Ask the worker running ``job_id`` to checkpoint and yield.
+
+        Returns False (no-op) when the job is not currently running —
+        the request is only meaningful against a live run.
+        """
+        with self._locked():
+            jobs = self._replay(self._ops())
+            rec = jobs.get(job_id)
+            if rec is None or rec["state"] != RUNNING:
+                return False
+            self._append({"op": "preempt-request", "id": job_id,
+                          "wall": time.time()})
+            return True
+
+    # -- recovery ---------------------------------------------------------
+    def reap(self) -> list[str]:
+        """Requeue running jobs whose worker died (or whose lease
+        expired, when ``lease_seconds`` is set).  Returns requeued ids."""
+        requeued = []
+        with self._locked():
+            jobs = self._replay(self._ops())
+            now = time.time()
+            for rec in jobs.values():
+                if rec["state"] != RUNNING:
+                    continue
+                stale = not _pid_alive(rec["pid"])
+                if (not stale and self.lease_seconds is not None
+                        and rec["lease"] is not None):
+                    stale = now - rec["lease"] > self.lease_seconds
+                if stale:
+                    self._append({
+                        "op": "requeue", "id": rec["id"],
+                        "checkpoint": rec["checkpoint"],
+                        "reason": "reaped", "wall": now,
+                    })
+                    requeued.append(rec["id"])
+        return requeued
+
+
+def _pid_alive(pid) -> bool:
+    if pid is None:
+        return False
+    try:
+        os.kill(int(pid), 0)
+    except (OSError, ValueError):
+        return False
+    return True

@@ -1,0 +1,214 @@
+"""Job execution: one claimed record → one supervised, telemetered run.
+
+Each job runs under :class:`repro.resilience.SupervisedRun` with its own
+:class:`repro.telemetry.TelemetrySink` run directory
+(``<campaign>/runs/<job>/attempt-NN/``), a rotating checkpoint directory
+(``<campaign>/checkpoints/<job>/``), the stock :class:`RetryPolicy`, and
+an optional deterministic :class:`repro.resilience.FaultInjector` driven
+by the job spec's ``fault_steps``.
+
+Preemption: the supervisor polls :meth:`JobQueue.preempt_requested`
+before every step; on a request it checkpoints, and the worker requeues
+the job with the checkpoint directory attached.  The next claimant finds
+a valid checkpoint and resumes — mesh, state, time, step count and
+Courant factor restore exactly, and since the job spec re-supplies the
+physics, the resumed evolution is bitwise-identical to an uninterrupted
+one.
+
+Results are content-addressed: before building a solver the worker
+consults the :class:`repro.jobs.ResultCache` and serves an identical
+spec without executing a single step (``cached=True``,
+``steps_executed=0`` in the result payload).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+import time
+import traceback
+
+import numpy as np
+
+from repro.io import RunConfig, find_latest_valid, restore_wave_solver
+from repro.resilience import FaultInjector, RetryPolicy, SupervisedRun
+from repro.telemetry import TelemetrySink
+from .cache import ResultCache
+from .queue import JobQueue
+
+RUNS_DIR = "runs"
+CHECKPOINTS_DIR = "checkpoints"
+CACHE_DIR = "cache"
+
+
+def state_digest(state: np.ndarray) -> str:
+    """sha256 over a solver state (dtype/shape/bytes) — the identity the
+    preemption-safety checks compare bitwise."""
+    a = np.ascontiguousarray(state)
+    h = hashlib.sha256()
+    h.update(str(a.dtype).encode())
+    h.update(repr(a.shape).encode())
+    h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def _build_or_resume(config: RunConfig, checkpoint_dir: pathlib.Path):
+    """(solver, resumed_from) — resume from the newest valid checkpoint
+    when one exists, else build fresh from the spec."""
+    path = None
+    if checkpoint_dir.is_dir():
+        path = find_latest_valid(checkpoint_dir)
+    if path is None:
+        return config.build_solver(), None
+    if config.solver == "wave":
+        return restore_wave_solver(path, ko_sigma=config.ko_sigma), path
+    from repro.io import restore_solver
+
+    return restore_solver(path, config.bssn_params()), path
+
+
+def execute_job(root, record: dict, queue: JobQueue, *,
+                checkpoint_every: int = 0, metrics_every: int = 5,
+                preempt_poll: int = 1) -> dict:
+    """Run one claimed job record to completion, preemption, or failure.
+
+    Returns the worker-side outcome::
+
+        {"outcome": "done",      "result": {...}}
+        {"outcome": "preempted", "checkpoint": "<dir>"}
+
+    Failures propagate as exceptions (the caller records them).
+    """
+    root = pathlib.Path(root)
+    job_id = record["id"]
+    config = RunConfig(**record["config"])
+    config.validate()
+    cache = ResultCache(root / CACHE_DIR)
+
+    hit = cache.get(record["cache_key"])
+    if hit is not None:
+        result = dict(hit)
+        result.update(cached=True, steps_executed=0)
+        return {"outcome": "done", "result": result}
+
+    ckdir = root / CHECKPOINTS_DIR / job_id
+    solver, resumed_from = _build_or_resume(config, ckdir)
+    start_step = solver.step_count
+
+    attempt_dir = (root / RUNS_DIR / job_id /
+                   f"attempt-{record['attempts']:02d}")
+    sink = TelemetrySink(attempt_dir, label=job_id,
+                         metrics_every=metrics_every,
+                         meta={"job": job_id, "cache_key": record["cache_key"],
+                               "attempt": record["attempts"],
+                               "resumed_from": str(resumed_from or "")})
+    injector = None
+    if record.get("fault_steps"):
+        injector = FaultInjector(seed=record["seq"],
+                                 nan_burst_steps=tuple(record["fault_steps"]))
+
+    polls = {"n": 0}
+
+    def preempt_check() -> bool:
+        polls["n"] += 1
+        if preempt_poll > 1 and polls["n"] % preempt_poll:
+            return False
+        return queue.preempt_requested(job_id)
+
+    run = SupervisedRun(
+        solver,
+        policy=RetryPolicy(),
+        journal=sink.journal(attempt_dir / "journal.jsonl"),
+        checkpoint_dir=ckdir,
+        checkpoint_every=checkpoint_every,
+        telemetry=sink,
+        injector=injector,
+        preempt_check=preempt_check,
+    )
+    t0 = time.perf_counter()
+    try:
+        report = run.run(
+            config.t_end,
+            regrid_every=config.regrid_every,
+            regrid_eps=config.regrid_eps,
+            max_level=config.max_level,
+        )
+    finally:
+        sink.finalize(solver)
+        run.journal.close()
+    wall = time.perf_counter() - t0
+
+    if report.get("preempted"):
+        return {"outcome": "preempted", "checkpoint": str(ckdir)}
+
+    result = {
+        "job": job_id,
+        "cache_key": record["cache_key"],
+        "cached": False,
+        "t": report["t"],
+        "step_count": report["step_count"],
+        "steps_executed": report["step_count"] - start_step,
+        "rollbacks": report["rollbacks"],
+        "courant": report["courant"],
+        "wall_seconds": wall,
+        "state_sha256": state_digest(solver.state),
+        "octants": solver.mesh.num_octants,
+        "run_dir": str(attempt_dir),
+    }
+    if config.solver == "wave":
+        result["energy"] = solver.energy()
+    cache.put(record["cache_key"], result)
+    return {"outcome": "done", "result": result}
+
+
+def worker_loop(root, name: str = "worker", *, poll: float = 0.05,
+                idle_timeout: float = 120.0, **execute_kwargs) -> dict:
+    """Claim-and-run until the queue drains (or idles out).
+
+    The loop reaps dead workers' jobs whenever it finds nothing to
+    claim, so a campaign self-heals: a ``running`` entry left by a
+    killed process is requeued and — thanks to its checkpoint directory
+    — resumed rather than restarted.
+    """
+    root = pathlib.Path(root)
+    queue = JobQueue(root)
+    stats = {"worker": name, "claimed": 0, "done": 0, "preempted": 0,
+             "failed": 0, "cache_hits": 0}
+    idle_since = None
+    while True:
+        record = queue.claim(name)
+        if record is None:
+            if queue.drained():
+                break
+            queue.reap()
+            if idle_since is None:
+                idle_since = time.monotonic()
+            elif time.monotonic() - idle_since > idle_timeout:
+                break
+            time.sleep(poll)
+            continue
+        idle_since = None
+        stats["claimed"] += 1
+        try:
+            outcome = execute_job(root, record, queue, **execute_kwargs)
+        except Exception:
+            queue.fail(record["id"], traceback.format_exc(limit=8))
+            stats["failed"] += 1
+            continue
+        if outcome["outcome"] == "preempted":
+            queue.requeue(record["id"], checkpoint=outcome["checkpoint"],
+                          reason="preempt")
+            stats["preempted"] += 1
+        else:
+            result = outcome["result"]
+            queue.complete(record["id"], result)
+            stats["done"] += 1
+            if result.get("cached"):
+                stats["cache_hits"] += 1
+    return stats
+
+
+def worker_main(root: str, name: str) -> None:
+    """Spawn-safe process entry point (used by :class:`WorkerPool` and
+    ``python -m repro.jobs run-workers``)."""
+    worker_loop(root, name)

@@ -119,6 +119,14 @@ class SupervisedRun:
     injector:
         Optional :class:`repro.resilience.FaultInjector`; fired after
         every step, before the health scan (test/CI harness hook).
+    preempt_check:
+        Optional zero-argument callable polled before every step of
+        :meth:`run`.  When it returns truthy the run checkpoints (if a
+        ``checkpoint_dir`` is configured), journals a ``preempted``
+        event, and returns its report early with ``preempted=True`` and
+        the checkpoint path — the campaign scheduler
+        (:mod:`repro.jobs`) uses this to yield a worker to a
+        higher-priority job and later resume from the checkpoint.
     telemetry:
         Optional :class:`repro.telemetry.TelemetrySink`.  The journal's
         recovery events are mirrored into its unified event stream
@@ -141,6 +149,7 @@ class SupervisedRun:
         keep: int = 3,
         injector=None,
         telemetry=None,
+        preempt_check=None,
     ):
         self.solver = solver
         self.monitor = monitor if monitor is not None else HealthMonitor()
@@ -160,6 +169,7 @@ class SupervisedRun:
         self.checkpoint_every = int(checkpoint_every)
         self.keep = int(keep)
         self.injector = injector
+        self.preempt_check = preempt_check
         self._snap = _Snapshot()
         self._base_courant = float(solver.courant)
         self._good_streak = 0
@@ -365,6 +375,14 @@ class SupervisedRun:
         """March to ``t_end`` under supervision; returns the run report."""
         solver = self.solver
         while solver.t < t_end - 1e-12:
+            if self.preempt_check is not None and self.preempt_check():
+                path = self.write_checkpoint()
+                self.journal.event("preempted", step=solver.step_count,
+                                   t=solver.t, path=path)
+                report = self.report()
+                report["preempted"] = True
+                report["checkpoint"] = path
+                return report
             if (
                 regrid_every
                 and solver.step_count
@@ -402,5 +420,6 @@ class SupervisedRun:
             "courant": float(self.solver.courant),
             "rollbacks": int(self.rollbacks),
             "flagged_steps": list(self.flagged_steps),
+            "preempted": False,
             "journal": summarize(self.journal.events),
         }

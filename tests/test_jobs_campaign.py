@@ -1,0 +1,151 @@
+"""End-to-end campaign tests: submit → workers → cache/fault handling →
+report, on deliberately tiny wave configurations."""
+
+import json
+
+import pytest
+
+from repro.io import RunConfig
+from repro.jobs import (
+    Campaign,
+    QueueSaturated,
+    WorkerPool,
+    campaign_report,
+    render_report,
+    worker_loop,
+    write_report,
+)
+
+
+def wave_cfg(name, **kw):
+    base = dict(name=name, solver="wave", domain_half_width=8.0,
+                base_level=1, max_level=2, t_end=1.0, courant=0.25,
+                ko_sigma=0.05, regrid_every=4, regrid_eps=3e-5,
+                extraction_radii=[4.0])
+    base.update(kw)
+    return RunConfig(**base)
+
+
+class TestSubmit:
+    def test_submit_prices_and_enqueues(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        rec = campaign.submit(wave_cfg("a"), priority=2)
+        assert rec["state"] == "pending"
+        assert rec["priority"] == 2
+        assert rec["cost"]["total_seconds"] > 0.0
+        assert rec["cache_key"] == wave_cfg("a").cache_key()
+
+    def test_submit_validates(self, tmp_path):
+        with pytest.raises(ValueError):
+            Campaign(tmp_path).submit(wave_cfg("bad", t_end=-1.0))
+
+    def test_backpressure(self, tmp_path):
+        campaign = Campaign(tmp_path, max_pending=1)
+        campaign.submit(wave_cfg("a"))
+        with pytest.raises(QueueSaturated):
+            campaign.submit(wave_cfg("b", t_end=0.5))
+
+    def test_sweep(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        records = campaign.submit_sweep(wave_cfg("conv"), "regrid_eps",
+                                        [1e-4, 3e-5])
+        assert len(records) == 2
+        names = [r["config"]["name"] for r in records]
+        assert names == ["conv-regrid_eps-0.0001", "conv-regrid_eps-3e-05"]
+        eps = {r["config"]["regrid_eps"] for r in records}
+        assert eps == {1e-4, 3e-5}
+        # distinct physics → distinct cache keys
+        assert len({r["cache_key"] for r in records}) == 2
+
+    def test_sweep_unknown_field(self, tmp_path):
+        with pytest.raises(ValueError):
+            Campaign(tmp_path).submit_sweep(wave_cfg("x"), "no_such", [1])
+
+    def test_status(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        campaign.submit(wave_cfg("a"))
+        status = campaign.status()
+        assert status["counts"]["pending"] == 1
+        assert status["predicted_makespan_seconds"] > 0.0
+        (job,) = status["jobs"].values()
+        assert job["state"] == "pending"
+        assert job["predicted_seconds"] > 0.0
+
+
+class TestEndToEnd:
+    def test_single_worker_campaign(self, tmp_path):
+        """One in-process worker drains a campaign holding a duplicate
+        spec (cache hit) and a fault-injected job (rollback recovery)."""
+        campaign = Campaign(tmp_path)
+        campaign.submit(wave_cfg("base"))
+        campaign.submit(wave_cfg("faulty", t_end=1.5), fault_steps=(2,))
+        # identical physics to "base", lowest priority → claimed after
+        # its twin finished → served from the result cache
+        dup = campaign.submit(wave_cfg("base-dup"), priority=-1)
+
+        stats = worker_loop(tmp_path, "w0")
+        assert stats["claimed"] == 3
+        assert stats["done"] == 3
+        assert stats["failed"] == 0
+        assert stats["cache_hits"] == 1
+
+        jobs = campaign.queue.jobs()
+        assert all(r["state"] == "done" for r in jobs.values())
+
+        dup_res = jobs[dup["id"]]["result"]
+        assert dup_res["cached"] is True
+        assert dup_res["steps_executed"] == 0
+
+        fault_res = next(r for r in jobs.values()
+                         if r["config"]["name"] == "faulty")["result"]
+        assert fault_res["rollbacks"] >= 1
+        assert fault_res["cached"] is False
+
+        # non-cached twins computed identical physics
+        base_res = next(r for r in jobs.values()
+                        if r["config"]["name"] == "base")["result"]
+        assert dup_res["state_sha256"] == base_res["state_sha256"]
+
+    def test_report_fields(self, tmp_path):
+        campaign = Campaign(tmp_path)
+        campaign.submit(wave_cfg("a"))
+        campaign.submit(wave_cfg("b", t_end=1.5))
+        worker_loop(tmp_path, "w0")
+
+        report = campaign_report(tmp_path)
+        assert report["counts"]["done"] == 2
+        assert report["queue"]["span_seconds"] > 0.0
+        assert report["queue"]["throughput_jobs_per_hour"] > 0.0
+        assert report["queue"]["mean_latency_seconds"] >= 0.0
+        assert report["cost_model"]["total_predicted_seconds"] > 0.0
+        assert report["cost_model"]["total_actual_wall_seconds"] > 0.0
+        for job in report["jobs"]:
+            assert job["state"] == "done"
+            assert job["predicted_seconds"] > 0.0
+            assert job["actual_wall_seconds"] > 0.0
+            assert job["actual_over_predicted"] > 0.0
+            assert job["queue_latency_seconds"] >= 0.0
+            assert job["journal_events"].get("complete") == 1
+
+        text = render_report(report)
+        assert "cost model" in text
+        for job in report["jobs"]:
+            assert job["id"][:28] in text
+
+        path = write_report(tmp_path, report)
+        assert json.loads(path.read_text())["counts"]["done"] == 2
+
+    def test_worker_pool_multiprocess(self, tmp_path):
+        """Two spawned worker processes drain the queue cooperatively."""
+        campaign = Campaign(tmp_path)
+        for i in range(3):
+            campaign.submit(wave_cfg(f"mp-{i}", t_end=0.5 + 0.25 * i))
+
+        with WorkerPool(tmp_path, 2) as pool:
+            assert pool.join(240.0)
+        assert campaign.queue.drained()
+        jobs = campaign.queue.jobs()
+        assert len(jobs) == 3
+        assert all(r["state"] == "done" for r in jobs.values())
+        workers = {r["worker"] for r in jobs.values()}
+        assert workers  # claimed by the pool's workers

@@ -1,0 +1,210 @@
+"""Tests for the cost-model scheduler policy, the canonical
+``RunConfig.cache_key``, and the content-addressed result cache."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io import RunConfig
+from repro.jobs import (
+    JobQueue,
+    ResultCache,
+    auto_preempt_target,
+    claim_order,
+    pack,
+)
+
+
+def rec(seq, *, state="pending", priority=0, seconds=1.0,
+        preempt_requested=False):
+    return {
+        "id": f"j{seq:04d}-x", "seq": seq, "state": state,
+        "priority": priority, "cost": {"total_seconds": seconds},
+        "preempt_requested": preempt_requested,
+    }
+
+
+class TestClaimOrder:
+    def test_priority_classes_first(self):
+        order = claim_order([
+            rec(0, priority=0, seconds=0.1),
+            rec(1, priority=5, seconds=99.0),
+            rec(2, priority=-1, seconds=0.01),
+        ])
+        assert [r["seq"] for r in order] == [1, 0, 2]
+
+    def test_sjf_within_class(self):
+        order = claim_order([
+            rec(0, seconds=3.0), rec(1, seconds=1.0), rec(2, seconds=2.0),
+        ])
+        assert [r["seq"] for r in order] == [1, 2, 0]
+
+    def test_submission_order_breaks_ties(self):
+        order = claim_order([rec(2), rec(0), rec(1)])
+        assert [r["seq"] for r in order] == [0, 1, 2]
+
+    def test_only_pending_considered(self):
+        order = claim_order([
+            rec(0, state="running"), rec(1, state="done"), rec(2),
+        ])
+        assert [r["seq"] for r in order] == [2]
+
+    def test_missing_cost_sorts_first(self):
+        unpriced = rec(1)
+        unpriced["cost"] = None
+        assert claim_order([rec(0, seconds=5.0), unpriced])[0]["seq"] == 1
+
+
+class TestPack:
+    def test_lpt_makespan(self):
+        records = [rec(i, seconds=s)
+                   for i, s in enumerate([7.0, 5.0, 4.0, 3.0, 1.0])]
+        bins, makespan = pack(records, 2)
+        assert sum(len(b) for b in bins) == 5
+        # LPT on {7,5,4,3,1} with 2 bins: {7,3} vs {5,4,1} → makespan 10
+        assert makespan == pytest.approx(10.0)
+
+    def test_running_work_counts(self):
+        bins, makespan = pack([rec(0, state="running", seconds=2.0)], 3)
+        assert makespan == pytest.approx(2.0)
+        assert sum(len(b) for b in bins) == 1
+
+    def test_empty_and_validation(self):
+        bins, makespan = pack([], 2)
+        assert makespan == 0.0
+        with pytest.raises(ValueError):
+            pack([], 0)
+
+
+class TestAutoPreempt:
+    def test_lowest_priority_victim(self):
+        victim = auto_preempt_target([
+            rec(0, state="running", priority=2, seconds=1.0),
+            rec(1, state="running", priority=0, seconds=1.0),
+        ], priority=5)
+        assert victim["seq"] == 1
+
+    def test_tie_broken_by_largest_cost(self):
+        victim = auto_preempt_target([
+            rec(0, state="running", priority=0, seconds=1.0),
+            rec(1, state="running", priority=0, seconds=9.0),
+        ], priority=5)
+        assert victim["seq"] == 1  # the long job loses least progress
+
+    def test_no_strictly_lower_priority(self):
+        assert auto_preempt_target(
+            [rec(0, state="running", priority=5)], priority=5) is None
+        assert auto_preempt_target([rec(0)], priority=5) is None  # pending
+
+    def test_already_requested_excluded(self):
+        assert auto_preempt_target(
+            [rec(0, state="running", priority=0, preempt_requested=True)],
+            priority=5) is None
+
+
+def wave_cfg(**kw):
+    base = dict(name="w", solver="wave", domain_half_width=8.0,
+                base_level=1, max_level=2, t_end=1.0, courant=0.25,
+                extraction_radii=[4.0])
+    base.update(kw)
+    return RunConfig(**base)
+
+
+class TestCacheKey:
+    def test_stable_and_name_independent(self):
+        a = wave_cfg(name="first")
+        b = wave_cfg(name="second")
+        assert a.cache_key() == a.cache_key()
+        assert a.cache_key() == b.cache_key()  # the label is not physics
+
+    def test_physics_sensitive(self):
+        keys = {
+            wave_cfg().cache_key(),
+            wave_cfg(courant=0.2).cache_key(),
+            wave_cfg(t_end=2.0).cache_key(),
+            wave_cfg(base_level=2).cache_key(),
+            wave_cfg(solver="bssn").cache_key(),
+        }
+        assert len(keys) == 5
+
+    def test_numeric_normalisation(self):
+        # ints written as floats (and vice versa) hash identically
+        assert wave_cfg(t_end=1).cache_key() == wave_cfg(t_end=1.0).cache_key()
+        assert (wave_cfg(base_level=1.0).cache_key()
+                == wave_cfg(base_level=1).cache_key())
+        assert (wave_cfg(extraction_radii=[8]).cache_key()
+                == wave_cfg(extraction_radii=[8.0]).cache_key())
+
+    def test_json_field_order_independent(self, tmp_path):
+        cfg = wave_cfg()
+        data = json.loads(cfg.to_json())
+        shuffled = {k: data[k] for k in sorted(data, reverse=True)}
+        path = tmp_path / "p.json"
+        path.write_text(json.dumps(shuffled))
+        assert RunConfig.load(path).cache_key() == cfg.cache_key()
+
+    def test_load_validates(self, tmp_path):
+        cfg = wave_cfg(t_end=-1.0)
+        path = tmp_path / "bad.json"
+        path.write_text(cfg.to_json())
+        with pytest.raises(ValueError):
+            RunConfig.load(path)
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "a" * 64
+        assert cache.get(key) is None
+        assert key not in cache
+        cache.put(key, {"t": 1.0, "steps": 3})
+        assert cache.get(key) == {"t": 1.0, "steps": 3}
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_arrays_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        psi = np.linspace(0.0, 1.0, 17)
+        cache.put("k" * 8, {"ok": True}, arrays={"psi4": psi})
+        out = cache.arrays("k" * 8)
+        np.testing.assert_array_equal(out["psi4"], psi)
+        assert cache.arrays("m" * 8) is None
+
+    def test_first_write_wins(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k" * 8, {"winner": 1})
+        kept = cache.put("k" * 8, {"winner": 2})
+        assert kept == {"winner": 1}
+        assert cache.get("k" * 8) == {"winner": 1}
+
+    def test_malformed_keys_rejected(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for bad in ("", "../escape", "a/b", ".hidden"):
+            with pytest.raises(ValueError):
+                cache.get(bad)
+
+    def test_no_partial_entries_visible(self, tmp_path):
+        # a temp dir left by a crashed writer is invisible to readers
+        cache = ResultCache(tmp_path)
+        (tmp_path / ".tmp-deadbeef-123").mkdir()
+        assert len(cache) == 0
+
+
+class TestInFlightDedup:
+    def test_duplicate_deferred_until_twin_finishes(self, tmp_path):
+        q = JobQueue(tmp_path)
+        first = q.submit({"name": "a"}, cache_key="same")
+        dup = q.submit({"name": "a-dup"}, cache_key="same")
+        other = q.submit({"name": "b"}, cache_key="other")
+
+        got = q.claim("w0")
+        assert got["id"] == first["id"]
+        # the duplicate is deferred while its twin runs; 'other' is not
+        got2 = q.claim("w1")
+        assert got2["id"] == other["id"]
+        assert q.claim("w2") is None
+
+        q.complete(first["id"], {})
+        got3 = q.claim("w2")
+        assert got3["id"] == dup["id"]  # now claimable → cache hit
