@@ -3,6 +3,7 @@ variants, vs octant count (model-predicted A100 times driven by each
 variant's measured flop and spill traffic)."""
 
 import numpy as np
+import pytest
 from conftest import write_table
 
 from repro.codegen import VARIANTS
@@ -47,6 +48,59 @@ def test_fig11_rhs_codegen_variants(benchmark, spill_stats):
     assert 1.3 < sgr / stg < 2.4
 
     benchmark(lambda: _time_per_octant("staged-cse", spill_stats, 2360))
+
+
+def test_fig11_compiled_backend_series(benchmark):
+    """Measured series for the ``compiled`` variant (PR 6): wall-clock
+    time per octant for 10 full RHS evaluations of the native fused
+    kernel vs the pooled NumPy execution of the same schedule.  Unlike
+    the modeled A100 rows above (which would be identical for
+    ``compiled`` — it lowers the staged-cse schedule verbatim, so its
+    flop/spill profile is the staged-cse row), this row is real host
+    execution."""
+    import time
+
+    from repro.bssn import Puncture, mesh_puncture_state
+    from repro.codegen import COMPILED_VARIANT, get_algebra_kernel
+    from repro.codegen.backends import native_impl
+    from repro.mesh import Mesh
+    from repro.octree import LinearOctree
+    from repro.solver import BSSNSolver
+
+    if native_impl() is None:
+        pytest.skip("compiled backend unavailable (no numba or cffi+cc)")
+
+    mesh = Mesh(LinearOctree.uniform(2))
+    u = mesh_puncture_state(mesh, [Puncture(1.0, [0.2, 0.1, 0.0])])
+    numpy_solver = BSSNSolver(
+        mesh, pooled=True, algebra=get_algebra_kernel(COMPILED_VARIANT)
+    )
+    compiled_solver = BSSNSolver(mesh, pooled=True, backend="compiled")
+
+    def ten_rhs(solver):
+        out = solver.full_rhs(u, 0.0)
+        t0 = time.perf_counter()
+        for _ in range(10):
+            out = solver.full_rhs(u, 0.0, out=out)
+        return time.perf_counter() - t0, out
+
+    t_np, rhs_np = ten_rhs(numpy_solver)
+    t_c, rhs_c = ten_rhs(compiled_solver)
+    assert np.array_equal(rhs_np, rhs_c)  # bitwise: same schedule, same order
+
+    per_oct_np = t_np / mesh.num_octants * 1e3
+    per_oct_c = t_c / mesh.num_octants * 1e3
+    lines = [
+        "Fig. 11 (measured host series): time per octant, 10 RHS evals (ms)",
+        f"{'octants':>8}{'numpy[staged-cse]':>20}{'compiled':>16}{'speedup':>10}",
+        f"{mesh.num_octants:>8}{per_oct_np:>20.4f}{per_oct_c:>16.4f}"
+        f"{t_np / t_c:>10.2f}x",
+        f"native impl: {native_impl()}",
+    ]
+    print("\n" + write_table("fig11_compiled_backend", lines))
+    assert t_c < t_np  # the native fused kernel must beat pooled NumPy
+
+    benchmark(lambda: compiled_solver.full_rhs(u, 0.0, out=rhs_c))
 
 
 def test_fig11_real_kernel_execution(benchmark):

@@ -9,10 +9,17 @@ Three driver configurations on the same BBH-style grid and initial data:
 * ``fused``  — allocating path with the fused einsum stencils (isolates
   the stencil-batching win);
 * ``pooled`` — the full hot path: workspace arena, coalesced scatter,
-  in-place RK4, hoisted boundary invariants.
+  in-place RK4, hoisted boundary invariants;
+* ``compiled`` — the pooled path with ``backend="compiled"`` (PR 6): the
+  fused native chunk kernel replaces the per-operator NumPy D+A+KO
+  stages (only when numba or cffi+cc is available on the host).
 
 ``pooled`` and ``fused`` must produce bitwise-identical states; ``legacy``
-differs only by stencil summation order (reported as a relative deviation).
+differs only by stencil summation order (reported as a relative
+deviation), and ``compiled`` only by the generated schedule's statement
+order vs the hand-vectorised reference kernel (the compiled backend is
+bitwise-identical to the *numpy execution of the same schedule* — that
+stronger check lives in tests/test_backends.py).
 
 Run standalone::
 
@@ -62,6 +69,9 @@ def make_solver(mesh: Mesh, config: str, profiler: StepProfiler | None = None) -
         s = BSSNSolver(mesh, pooled=False, profiler=profiler)
     elif config == "pooled":
         s = BSSNSolver(mesh, pooled=True, profiler=profiler)
+    elif config == "compiled":
+        s = BSSNSolver(mesh, pooled=True, profiler=profiler,
+                       backend="compiled")
     else:
         raise ValueError(config)
     s.set_punctures(PUNCTURES)
@@ -162,13 +172,21 @@ def supervised_overhead(mesh: Mesh, steps: int) -> dict:
 
 def run_benchmark(quick: bool = False, steps: int | None = None,
                   check_overhead: bool = True) -> dict:
+    from repro.codegen.backends import backend_info, native_impl
+
     mesh = make_mesh(quick)
     n_steps = steps if steps is not None else (1 if quick else 2)
     prof = StepProfiler()
+    prof_compiled = StepProfiler()
+    have_native = native_impl() is not None
 
+    profilers = {"pooled": prof, "compiled": prof_compiled}
+    configs = ("legacy", "fused", "pooled") + (
+        ("compiled",) if have_native else ()
+    )
     results = {cfg: run_config(mesh, cfg, n_steps,
-                               profiler=prof if cfg == "pooled" else None)
-               for cfg in ("legacy", "fused", "pooled")}
+                               profiler=profilers.get(cfg))
+               for cfg in configs}
 
     legacy, fused, pooled = (results[c] for c in ("legacy", "fused", "pooled"))
     speedup = pooled["steps_per_sec"] / legacy["steps_per_sec"]
@@ -204,7 +222,22 @@ def run_benchmark(quick: bool = False, steps: int | None = None,
             "sec_per_step": summ["step_time"] / max(summ["steps"], 1),
             "steps": summ["steps"],
         },
+        "compiled_backend": backend_info(),
     }
+    if have_native:
+        compiled = results["compiled"]
+        summ_c = prof_compiled.summary()
+        report["speedup_compiled_vs_pooled"] = (
+            compiled["steps_per_sec"] / pooled["steps_per_sec"]
+        )
+        report["max_rel_dev_compiled_vs_pooled"] = max_rel_dev(
+            compiled["state"], pooled["state"]
+        )
+        report["telemetry_profile_compiled"] = {
+            "phases": {p: v["per_step"] for p, v in summ_c["phases"].items()},
+            "sec_per_step": summ_c["step_time"] / max(summ_c["steps"], 1),
+            "steps": summ_c["steps"],
+        }
     if check_overhead:
         report["profiler_overhead"] = profiler_overhead(mesh, n_steps)
         report["supervised_overhead"] = supervised_overhead(mesh, n_steps)
@@ -237,6 +270,23 @@ def render(report: dict) -> str:
     ph = report["profiler"]["phases"]
     for p in PHASES:
         lines.append(f"  {p:<10} {ph[p]['per_step']:>9.4f} s/step  {ph[p]['fraction'] * 100:>5.1f}%")
+    if "speedup_compiled_vs_pooled" in report:
+        impl = report["compiled_backend"]["native_impl"]
+        lines += [
+            f"compiled backend [{impl}] vs pooled: "
+            f"{report['speedup_compiled_vs_pooled']:.2f}x steps/sec "
+            f"(rel dev {report['max_rel_dev_compiled_vs_pooled']:.2e}, "
+            "schedule-order roundoff only)",
+            "per-phase breakdown (compiled; deriv = fused native D+A+KO):",
+        ]
+        phc = report["telemetry_profile_compiled"]["phases"]
+        for p in PHASES:
+            lines.append(f"  {p:<10} {phc[p]:>9.4f} s/step")
+    elif "compiled_backend" in report:
+        lines.append(
+            "compiled backend: skipped (no numba or cffi+cc on this host: "
+            f"{report['compiled_backend']})"
+        )
     if "profiler_overhead" in report:
         lines.append(
             f"disabled-profiler overhead: "
@@ -256,6 +306,9 @@ def test_hotpath_quick():
     assert report["pooled_bitwise_equals_unpooled"]
     assert report["max_rel_dev_vs_legacy"] < 1e-9  # summation order only
     assert report["speedup_pooled_vs_legacy"] > 1.0
+    if "speedup_compiled_vs_pooled" in report:
+        assert report["speedup_compiled_vs_pooled"] > 1.0
+        assert report["max_rel_dev_compiled_vs_pooled"] < 1e-12
     print("\n" + render(report))
 
 

@@ -1,8 +1,20 @@
 """SymPy-based RHS code generation (paper §IV-B, Table II, Figs. 10–11)."""
 
+from .backends import (
+    BackendUnavailableError,
+    NativeBSSNRHS,
+    NativeWaveRHS,
+    backend_info,
+    probe_cffi,
+    probe_numba,
+    resolve_backend,
+)
+from .cbackend import ToolchainError, build_native_lib, emit_c_source, emit_py_source
 from .cuda_emit import CudaValidationError, emit_cuda, validate_cuda_source
 from .equations import rhs_operation_count, symbolic_rhs
 from .generators import (
+    ALL_VARIANTS,
+    COMPILED_VARIANT,
     VARIANTS,
     KernelSpec,
     compile_kernel,
@@ -23,8 +35,21 @@ from .regalloc import (
 )
 
 __all__ = [
+    "ALL_VARIANTS",
+    "COMPILED_VARIANT",
     "DEFAULT_BUDGET",
+    "BackendUnavailableError",
     "CudaValidationError",
+    "NativeBSSNRHS",
+    "NativeWaveRHS",
+    "ToolchainError",
+    "backend_info",
+    "build_native_lib",
+    "emit_c_source",
+    "emit_py_source",
+    "probe_cffi",
+    "probe_numba",
+    "resolve_backend",
     "ExprDag",
     "KernelSpec",
     "SpillStats",

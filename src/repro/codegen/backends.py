@@ -1,0 +1,375 @@
+"""Runtime backend selection for the native RHS kernels.
+
+The solvers take ``backend=``:
+
+* ``"numpy"`` (default) — the pooled NumPy hot path, unchanged;
+* ``"compiled"`` — the fused native kernels lowered from the
+  ``compiled`` codegen variant (:mod:`repro.codegen.cbackend`);
+  raises :class:`BackendUnavailableError` when no implementation works;
+* ``"auto"`` — ``compiled`` when available, otherwise the NumPy path
+  with a single warning.
+
+The compiled ladder is **Numba first** (``@njit(fastmath=False)`` over
+the generated Python source), then the **cffi**-loaded C build, because
+Numba needs no toolchain at runtime.  Both execute the identical
+schedule with identical accumulation order, so the choice never changes
+results (asserted bitwise in tests/test_backends.py).  A third
+implementation, ``"py"``, runs the generated Python source un-jitted —
+orders of magnitude slower, used only by tests to exercise the
+dispatchers without a toolchain.
+
+Per-kernel build time and achieved FLOP/s are published through
+:mod:`repro.telemetry` using the existing ``gpu_flops | gpu_bytes |
+gpu_launches | gpu_seconds{kernel}`` counters plus
+``kernel_compile_seconds{kernel}``.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+
+import numpy as np
+
+from repro.bssn import state as S
+from repro.fd.derivatives import _h_factor
+from repro.gpu.counters import publish_kernel_stats
+from repro.gpu.perfmodel import KernelStats
+from repro.perf import hot_path
+from .cbackend import (
+    NUM_PARAMS,
+    NativeLib,
+    ToolchainError,
+    build_native_lib,
+    compile_py_kernels,
+    emit_c_source,
+    pack_params,
+    scratch_doubles,
+    stencil_weights,
+)
+from .generators import COMPILED_VARIANT, get_kernel_spec
+
+#: set when an "auto" request fell back to numpy (warn exactly once)
+_WARNED_FALLBACK = False
+
+BACKENDS = ("numpy", "compiled", "auto")
+
+
+class BackendUnavailableError(RuntimeError):
+    """``backend="compiled"`` was requested but no implementation works."""
+
+
+# ---------------------------------------------------------------------------
+# capability probes
+# ---------------------------------------------------------------------------
+
+def probe_numba() -> str | None:
+    """Numba version string, or None when not importable."""
+    try:
+        import numba
+    except Exception:
+        return None
+    return getattr(numba, "__version__", "unknown")
+
+
+def probe_cffi() -> str | None:
+    """cffi + C toolchain availability (version string or None)."""
+    try:
+        import cffi
+    except Exception:
+        return None
+    from .cbackend import _cc
+
+    if _cc() is None:
+        return None
+    return cffi.__version__
+
+
+def native_impl() -> str | None:
+    """First available rung of the compiled ladder (``numba`` / ``cffi``),
+    or None when the host supports neither."""
+    if probe_numba() is not None:
+        return "numba"
+    if probe_cffi() is not None:
+        return "cffi"
+    return None
+
+
+def backend_info() -> dict:
+    """Capability summary (CLI / benchmark provenance)."""
+    from .cbackend import _cc
+
+    return {
+        "numba": probe_numba(),
+        "cffi": probe_cffi(),
+        "cc": _cc(),
+        "native_impl": native_impl(),
+    }
+
+
+def resolve_backend(backend: str) -> str:
+    """Resolve a requested backend to ``"numpy"`` or ``"compiled"``.
+
+    ``"compiled"`` raises with a capability report when unsupported;
+    ``"auto"`` degrades to numpy with a single process-wide warning.
+    """
+    global _WARNED_FALLBACK
+    if backend == "numpy":
+        return "numpy"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}"
+        )
+    if native_impl() is not None:
+        return "compiled"
+    if backend == "compiled":
+        info = backend_info()
+        raise BackendUnavailableError(
+            "backend='compiled' requested but no native implementation is "
+            f"available on this host (numba: {info['numba']}, cffi: "
+            f"{info['cffi']}, cc: {info['cc']}). Install numba, or a C "
+            "compiler with cffi, or use backend='numpy'."
+        )
+    if not _WARNED_FALLBACK:
+        _WARNED_FALLBACK = True
+        warnings.warn(
+            "backend='auto': no compiled backend available (numba and "
+            "cffi/cc both missing) — falling back to the pooled NumPy "
+            "path",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return "numpy"
+
+
+# ---------------------------------------------------------------------------
+# built-artifact caches (one per process; keyed by the schedule via the
+# source text, which embeds the schedule digest)
+# ---------------------------------------------------------------------------
+
+_NATIVE_LIB: NativeLib | None = None
+_NUMBA_KERNELS: dict | None = None
+_NUMBA_COMPILE_SECONDS: float = 0.0
+
+
+def get_native_lib() -> NativeLib:
+    """Build (or load from the disk cache) the C shared library."""
+    global _NATIVE_LIB
+    if _NATIVE_LIB is None:
+        spec = get_kernel_spec(COMPILED_VARIANT)
+        _NATIVE_LIB = build_native_lib(emit_c_source(spec))
+    return _NATIVE_LIB
+
+
+def get_numba_kernels() -> tuple[dict, float]:
+    """njit-compile the generated Python kernels (eagerly, via a tiny
+    warm-up call so production calls never pay compile time); returns
+    ``(namespace, compile_seconds)``."""
+    global _NUMBA_KERNELS, _NUMBA_COMPILE_SECONDS
+    if _NUMBA_KERNELS is None:
+        import numba
+
+        spec = get_kernel_spec(COMPILED_VARIANT)
+        jit = numba.njit(fastmath=False, cache=False)
+        ns = compile_py_kernels(spec, jit=jit)
+        t0 = time.perf_counter()
+        _warmup(ns)
+        _NUMBA_COMPILE_SECONDS = time.perf_counter() - t0
+        _NUMBA_KERNELS = ns
+    return _NUMBA_KERNELS, _NUMBA_COMPILE_SECONDS
+
+
+def _warmup(ns: dict) -> None:
+    """One minimal-size call of each kernel (r=1) to trigger compilation."""
+    r, k = 1, 3
+    P = r + 2 * k
+    w = stencil_weights()
+    patches = np.zeros(S.NUM_VARS * P**3)
+    hf = np.ones(1)
+    params = np.zeros(NUM_PARAMS)
+    params[-1] = 1.0  # use_upwind
+    bdry = np.ones(1, dtype=np.int64)
+    rhs = np.zeros(S.NUM_VARS * r**3)
+    d1 = np.zeros(3 * S.NUM_VARS * r**3)
+    scratch = np.zeros(scratch_doubles(P, r))
+    ns["bssn_rhs_chunk"](patches, 1, 0, 1, P, r, k, hf, hf, hf,
+                         w["w1"], w["w2"], w["wko"], w["wup"], w["wun"],
+                         params, bdry, rhs, d1, scratch)
+    wpatches = np.zeros(2 * P**3)
+    ko = np.zeros(r**3)
+    ns["wave_rhs_chunk"](wpatches, 1, 0, 1, P, r, k, hf, hf,
+                         w["w2"], w["wko"], 1.0, 0.1, 1,
+                         np.zeros(r**3), np.zeros(r**3), ko)
+
+
+# ---------------------------------------------------------------------------
+# dispatchers
+# ---------------------------------------------------------------------------
+
+#: rough structural flop count of the D stage per interior point (tap
+#: multiplies+adds for 72 d1, 72 upwind pairs + select, 33 diagonal and
+#: 33 two-pass mixed second derivatives, 72 KO sweeps) — feeds the
+#: telemetry FLOP/s counters alongside the schedule's exact A count
+DERIV_FLOPS_PER_POINT = 72 * 15 + 72 * 27 + 33 * 15 + 33 * 32 + 72 * 15
+
+
+class _NativeRHSBase:
+    """Shared machinery: implementation binding + telemetry."""
+
+    def __init__(self, impl: str | None = None):
+        impl = impl if impl is not None else native_impl()
+        if impl is None:
+            raise BackendUnavailableError(
+                "no native implementation available (see backend_info())"
+            )
+        self.impl = impl
+        self.spec = get_kernel_spec(COMPILED_VARIANT)
+        w = stencil_weights()
+        self.w1, self.w2 = w["w1"], w["w2"]
+        self.wko, self.wup, self.wun = w["wko"], w["wup"], w["wun"]
+        self.compile_seconds = 0.0
+        self._lib: NativeLib | None = None
+        self._kernels: dict | None = None
+        if impl == "cffi":
+            self._lib = get_native_lib()
+            self.compile_seconds = self._lib.compile_seconds
+        elif impl == "numba":
+            self._kernels, self.compile_seconds = get_numba_kernels()
+        elif impl == "py":
+            self._kernels = compile_py_kernels(self.spec)
+        else:
+            raise ValueError(f"unknown native impl {impl!r}")
+        self._empty = np.empty(0)
+        self._compile_published = False
+
+    def _publish(self, metrics, name: str, flops: float, bytes_moved: float,
+                 seconds: float) -> None:
+        if metrics is None:
+            return
+        label = f"{name}[{self.impl}]"
+        if not self._compile_published:
+            self._compile_published = True
+            metrics.counter(
+                "kernel_compile_seconds", kernel=label
+            ).inc(self.compile_seconds)
+        publish_kernel_stats(
+            metrics, KernelStats(label, flops, bytes_moved), seconds
+        )
+
+
+class NativeBSSNRHS(_NativeRHSBase):
+    """Fused D+A+KO evaluation of one octant chunk.
+
+    Writes the 24 RHS blocks into the pooled ``solver.chunk_rhs`` buffer
+    and, for boundary-flagged octants, exports the 72 first-derivative
+    blocks into the pooled ``rhs.d1`` layout so the NumPy Sommerfeld
+    path runs unchanged on bitwise-identical inputs.
+    """
+
+    #: pooled-buffer names (shared with the NumPy path where the layout
+    #: is identical, so switching backends never grows the arena)
+    POOL_RHS = "solver.chunk_rhs"
+    POOL_D1 = "rhs.d1"
+
+    @hot_path
+    def __call__(self, patches, lo, hi, mesh, params, faces, pool,
+                 metrics=None):
+        """Evaluate the RHS of octants ``lo:hi`` of ``patches``.
+
+        Returns ``(chunk_rhs, d1_view)`` where ``d1_view`` is a
+        variable-major view of the exported first derivatives (only
+        valid for boundary-flagged octants) or ``None`` when the chunk
+        has no physical-boundary faces.
+        """
+        ntot, P = patches.shape[1], patches.shape[-1]
+        r, k = mesh.r, mesh.k
+        nc = hi - lo
+        NP = r * r * r
+        h_arr = np.asarray(mesh.dx[lo:hi], dtype=np.float64)
+        # identical values to the per-sweep factors of the NumPy path
+        # (same _h_factor expression => same SIMD path => same bits)
+        hf1 = _h_factor(h_arr, 1).ravel()
+        hf2 = _h_factor(h_arr, 2).ravel()
+        chunk_rhs = pool.get(self.POOL_RHS, (S.NUM_VARS, nc, r, r, r))
+        pbuf = pack_params(params, pool.get("native.params", (NUM_PARAMS,)))
+        bdry = pool.get("native.bdry", (nc,), np.int64)
+        bdry[:] = 0
+        d1_buf = None
+        if faces:
+            for _ax, _side, octs in faces:
+                bdry[octs] = 1
+            d1_buf = pool.get(self.POOL_D1, (3, S.NUM_VARS, nc, r, r, r))
+        scratch = pool.get("native.scratch", (scratch_doubles(P, r),))
+        t0 = time.perf_counter()
+        if self._lib is not None:
+            lib, ptr = self._lib.lib, self._lib.ptr
+            d1_arg = ptr(d1_buf) if d1_buf is not None else self._lib.ffi.NULL
+            # alloc-ok: the native call writes only into the pooled
+            # buffers above; the ffi casts allocate no array memory
+            lib.bssn_rhs_chunk(
+                ptr(patches), ntot, lo, nc, P, r, k,
+                ptr(hf1), ptr(hf2), ptr(hf1),
+                ptr(self.w1), ptr(self.w2), ptr(self.wko),
+                ptr(self.wup), ptr(self.wun),
+                ptr(pbuf), ptr(bdry), ptr(chunk_rhs), d1_arg, ptr(scratch),
+            )
+        else:
+            d1_arg = d1_buf.reshape(-1) if d1_buf is not None else self._empty
+            # alloc-ok: reshape(-1) of contiguous pool buffers is a view
+            self._kernels["bssn_rhs_chunk"](
+                patches.reshape(-1), ntot, lo, nc, P, r, k,
+                hf1, hf2, hf1, self.w1, self.w2, self.wko, self.wup,
+                self.wun, pbuf, bdry, chunk_rhs.reshape(-1), d1_arg,
+                scratch,
+            )
+        dt = time.perf_counter() - t0
+        pts = nc * NP
+        self._publish(
+            metrics, "bssn_rhs_chunk",
+            (self.spec.total_flops + DERIV_FLOPS_PER_POINT) * pts,
+            (S.NUM_VARS * P**3 + S.NUM_VARS * NP) * nc * 8.0, dt,
+        )
+        d1_view = np.swapaxes(d1_buf, 0, 1) if d1_buf is not None else None
+        return chunk_rhs, d1_view
+
+
+class NativeWaveRHS(_NativeRHSBase):
+    """Fused wave-equation chunk kernel (Laplacian + KO)."""
+
+    @hot_path
+    def __call__(self, patches, lo, hi, mesh, c2, sigma, finalize_pi, rhs,
+                 pool, metrics=None):
+        """Write φ̇/π̇ of octants ``lo:hi`` directly into ``rhs``; returns
+        the σ-scaled KO(π) buffer (to be added after the source term
+        when ``finalize_pi`` is false)."""
+        ntot, P = patches.shape[1], patches.shape[-1]
+        r, k = mesh.r, mesh.k
+        nc = hi - lo
+        h_arr = np.asarray(mesh.dx[lo:hi], dtype=np.float64)
+        hf1 = _h_factor(h_arr, 1).ravel()
+        hf2 = _h_factor(h_arr, 2).ravel()
+        ko_pi = pool.get("wave.ko_pi", (nc, r, r, r))
+        rhs_phi = rhs[0, lo:hi]
+        rhs_pi = rhs[1, lo:hi]
+        t0 = time.perf_counter()
+        if self._lib is not None:
+            lib, ptr = self._lib.lib, self._lib.ptr
+            # alloc-ok: native call; writes only into rhs slices + pool
+            lib.wave_rhs_chunk(
+                ptr(patches), ntot, lo, nc, P, r, k, ptr(hf1), ptr(hf2),
+                ptr(self.w2), ptr(self.wko), c2, sigma,
+                1 if finalize_pi else 0,
+                ptr(rhs_phi), ptr(rhs_pi), ptr(ko_pi),
+            )
+        else:
+            # alloc-ok: reshape(-1) of contiguous buffers is a view
+            self._kernels["wave_rhs_chunk"](
+                patches.reshape(-1), ntot, lo, nc, P, r, k, hf1, hf2,
+                self.w2, self.wko, c2, sigma, 1 if finalize_pi else 0,
+                rhs_phi.reshape(-1), rhs_pi.reshape(-1), ko_pi.reshape(-1),
+            )
+        dt = time.perf_counter() - t0
+        pts = nc * r * r * r
+        self._publish(metrics, "wave_rhs_chunk", 9 * 15.0 * pts,
+                      (2 * P**3 + 3 * r**3) * nc * 8.0, dt)
+        return ko_pi

@@ -1,0 +1,887 @@
+"""Native lowering of the generated RHS schedules (C and Python source).
+
+This module turns one dataflow-verified :class:`KernelSpec` schedule into
+two *fused* single-pass kernels over a chunk of octants:
+
+* a C translation unit (compiled with the host toolchain and loaded
+  through cffi's ABI mode), and
+* a structurally identical pure-Python source (the Numba ``@njit`` body;
+  also executable un-jitted for correctness tests on tiny grids).
+
+Both kernels perform the whole D + A + KO pipeline per octant — all 72
+first derivatives, 72 upwind advective derivatives, 66 second
+derivatives, 24 summed Kreiss–Oliger terms, then the scheduled A
+component and the dissipation add — writing the 24 RHS blocks in one
+pass.  Against the pooled NumPy path this removes ~300 full-array
+traversals per chunk, which is where the speedup comes from on a single
+core.
+
+Bitwise contract
+----------------
+Every operation mirrors the NumPy execution order exactly:
+
+* stencil sweeps mirror the einsum in
+  :func:`repro.fd.derivatives.apply_stencil` tap-for-tap: on the
+  unit-stride (x) axis its contiguous inner loop keeps two alternating
+  accumulators (even taps, odd taps, added once at the end); on strided
+  axes it reduces sequentially in forward offset order;
+* the raw tap sum is scaled by the per-octant ``1/h^p`` factor *after*
+  accumulation, with the factors computed in Python by the same
+  ``_h_factor`` expression the NumPy path uses;
+* mixed second derivatives are two composed first-derivative passes with
+  the scale applied after each pass;
+* the A component executes the schedule statement-for-statement — after
+  ``_binarize`` it contains only ``+ - * /``, all exactly rounded — and
+  χ is floored with NumPy's ``maximum`` semantics (NaN propagates);
+* compilation disables FP contraction (``-ffp-contract=off``) so no FMA
+  changes the rounding.
+
+The resulting chunk RHS is bitwise-identical to the pooled NumPy
+execution of the same schedule (asserted in tests/test_backends.py).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import subprocess
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bssn import state as S
+from repro.bssn.rhs import _S2, _S2_POS, _SYM_PAIRS
+from repro.fd.stencils import (
+    D1_CENTERED_6,
+    D1_UPWIND_NEG,
+    D1_UPWIND_POS,
+    D2_CENTERED_6,
+    KO_DISS_6,
+)
+from .generators import KernelSpec, schedule_digest
+from .lowering import classify_inputs, lowered_statements
+
+#: layout of the ``params`` argument both kernels receive
+PARAM_ORDER = (
+    "p_eta", "p_gauge_f", "p_lambda1", "p_lambda2", "p_lambda3",
+    "p_lambda4", "p_lapse_c1", "p_lapse_c2",
+)
+IDX_CHI_FLOOR = len(PARAM_ORDER)       # 8
+IDX_KO_SIGMA = len(PARAM_ORDER) + 1    # 9
+IDX_USE_UPWIND = len(PARAM_ORDER) + 2  # 10
+NUM_PARAMS = len(PARAM_ORDER) + 3
+
+_GRAD_RE = re.compile(r"^grad_(\d)_(\w+)$")
+_AGRAD_RE = re.compile(r"^agrad_(\d)_(\w+)$")
+_GRAD2_RE = re.compile(r"^grad2_(\d)_(\d)_(\w+)$")
+
+#: scratch layout (in units of NP = r^3 doubles): 72 d1 + 72 adv +
+#: 66 d2 + 24 ko blocks, then the mixed-derivative intermediate
+#: (P*r*r) and the two upwind candidates
+OFF_ADV = 72
+OFF_D2 = 144
+OFF_KO = 210
+OFF_TMP = 234
+
+
+def scratch_doubles(P: int, r: int) -> int:
+    """Total scratch size (doubles) both kernels require per call."""
+    return OFF_TMP * r * r * r + P * r * r + 2 * r * r * r
+
+
+def pack_params(params, out: np.ndarray) -> np.ndarray:
+    """Fill the length-``NUM_PARAMS`` parameter vector from BSSNParams."""
+    for j, name in enumerate(PARAM_ORDER):
+        out[j] = getattr(params, name[2:])
+    out[IDX_CHI_FLOOR] = params.chi_floor
+    out[IDX_KO_SIGMA] = params.ko_sigma
+    out[IDX_USE_UPWIND] = 1.0 if params.use_upwind else 0.0
+    return out
+
+
+def stencil_weights() -> dict[str, np.ndarray]:
+    """The five weight vectors the kernels consume (raw, unscaled)."""
+    return {
+        "w1": np.ascontiguousarray(D1_CENTERED_6.weights),
+        "w2": np.ascontiguousarray(D2_CENTERED_6.weights),
+        "wko": np.ascontiguousarray(KO_DISS_6.weights),
+        "wup": np.ascontiguousarray(D1_UPWIND_POS.weights),
+        "wun": np.ascontiguousarray(D1_UPWIND_NEG.weights),
+    }
+
+
+def _deriv_block(name: str) -> tuple[str, int]:
+    """Map a derivative symbol to its (scratch region, block index)."""
+    m = _GRAD_RE.match(name)
+    if m:
+        d, var = int(m.group(1)), S.VAR_NAMES.index(m.group(2))
+        return ("d1s", var * 3 + d)
+    m = _AGRAD_RE.match(name)
+    if m:
+        d, var = int(m.group(1)), S.VAR_NAMES.index(m.group(2))
+        return ("advs", var * 3 + d)
+    m = _GRAD2_RE.match(name)
+    if m:
+        a, b = int(m.group(1)), int(m.group(2))
+        var = S.VAR_NAMES.index(m.group(3))
+        return ("d2s", _S2_POS[var] * 6 + _SYM_PAIRS.index((a, b)))
+    raise ValueError(f"unrecognised derivative symbol {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# C emission
+# ---------------------------------------------------------------------------
+
+_C_PRELUDE = r"""
+/* generated by repro.codegen.cbackend -- do not edit */
+#include <math.h>
+#include <string.h>
+
+/* NumPy maximum semantics: NaN in the first operand propagates
+   (C fmax would return the floor instead). */
+static double np_maximum(double a, double b)
+{
+    return (a != a) ? a : (a > b ? a : b);
+}
+
+/* One stencil sweep over the r^3 interior of a padded P^3 cube.
+   The accumulation order mirrors the einsum in
+   repro.fd.derivatives.apply_stencil exactly: on the unit-stride x
+   axis its contiguous inner loop keeps two alternating accumulators
+   (even taps, odd taps, added once at the end); on strided axes the
+   reduction runs across outer iterations, i.e. sequentially in
+   forward offset order.  The raw tap sum is scaled by hf (1/h^p)
+   after accumulation. */
+static void sweep(const double* u, double* out, const double* w,
+                  long P, long r, long k, long stride, int nw, int left,
+                  double hf, int add)
+{
+    for (long z = 0; z < r; ++z)
+    for (long y = 0; y < r; ++y) {
+        const double* row = u + (((z + k) * P) + (y + k)) * P + k;
+        double* orow = out + ((z * r) + y) * r;
+        for (long x = 0; x < r; ++x) {
+            const double* c = row + x;
+            double acc;
+            if (stride == 1) {
+                double ev = w[0] * c[-left];
+                double od = w[1] * c[1 - left];
+                for (int t = 2; t < nw; t += 2)
+                    ev += w[t] * c[t - left];
+                for (int t = 3; t < nw; t += 2)
+                    od += w[t] * c[t - left];
+                acc = ev + od;
+            } else {
+                acc = 0.0;
+                for (int t = 0; t < nw; ++t)
+                    acc += w[t] * c[(t - left) * stride];
+            }
+            if (add) orow[x] += acc * hf;
+            else     orow[x]  = acc * hf;
+        }
+    }
+}
+
+/* Mixed second derivatives: two composed first-derivative passes with
+   the 1/h factor applied after each pass (matching d2_mixed).  The
+   intermediate T keeps the full padded extent along the second axis. */
+static void d2_mixed_xy(const double* u, double* out, double* T,
+                        const double* w, long P, long r, long k, double hf)
+{
+    for (long z = 0; z < r; ++z)
+    for (long yy = 0; yy < P; ++yy) {
+        const double* row = u + (((z + k) * P) + yy) * P + k;
+        double* trow = T + ((z * P) + yy) * r;
+        for (long x = 0; x < r; ++x) {
+            double ev = w[0] * row[x - 3] + w[2] * row[x - 1]
+                      + w[4] * row[x + 1] + w[6] * row[x + 3];
+            double od = w[1] * row[x - 2] + w[3] * row[x]
+                      + w[5] * row[x + 2];
+            trow[x] = (ev + od) * hf;
+        }
+    }
+    for (long z = 0; z < r; ++z)
+    for (long y = 0; y < r; ++y) {
+        const double* trow = T + ((z * P) + (y + k)) * r;
+        double* orow = out + ((z * r) + y) * r;
+        for (long x = 0; x < r; ++x) {
+            double acc = 0.0;
+            for (int t = 0; t < 7; ++t)
+                acc += w[t] * trow[x + (t - 3) * r];
+            orow[x] = acc * hf;
+        }
+    }
+}
+
+static void d2_mixed_xz(const double* u, double* out, double* T,
+                        const double* w, long P, long r, long k, double hf)
+{
+    for (long zz = 0; zz < P; ++zz)
+    for (long y = 0; y < r; ++y) {
+        const double* row = u + ((zz * P) + (y + k)) * P + k;
+        double* trow = T + ((zz * r) + y) * r;
+        for (long x = 0; x < r; ++x) {
+            double ev = w[0] * row[x - 3] + w[2] * row[x - 1]
+                      + w[4] * row[x + 1] + w[6] * row[x + 3];
+            double od = w[1] * row[x - 2] + w[3] * row[x]
+                      + w[5] * row[x + 2];
+            trow[x] = (ev + od) * hf;
+        }
+    }
+    for (long z = 0; z < r; ++z)
+    for (long y = 0; y < r; ++y) {
+        const double* trow = T + (((z + k) * r) + y) * r;
+        double* orow = out + ((z * r) + y) * r;
+        for (long x = 0; x < r; ++x) {
+            double acc = 0.0;
+            for (int t = 0; t < 7; ++t)
+                acc += w[t] * trow[x + (t - 3) * r * r];
+            orow[x] = acc * hf;
+        }
+    }
+}
+
+static void d2_mixed_yz(const double* u, double* out, double* T,
+                        const double* w, long P, long r, long k, double hf)
+{
+    for (long zz = 0; zz < P; ++zz)
+    for (long y = 0; y < r; ++y) {
+        const double* c0 = u + ((zz * P) + (y + k)) * P + k;
+        double* trow = T + ((zz * r) + y) * r;
+        for (long x = 0; x < r; ++x) {
+            double acc = 0.0;
+            for (int t = 0; t < 7; ++t)    /* y: stride P -> forward */
+                acc += w[t] * c0[x + (t - 3) * P];
+            trow[x] = acc * hf;
+        }
+    }
+    for (long z = 0; z < r; ++z)
+    for (long y = 0; y < r; ++y) {
+        const double* trow = T + (((z + k) * r) + y) * r;
+        double* orow = out + ((z * r) + y) * r;
+        for (long x = 0; x < r; ++x) {
+            double acc = 0.0;
+            for (int t = 0; t < 7; ++t)
+                acc += w[t] * trow[x + (t - 3) * r * r];
+            orow[x] = acc * hf;
+        }
+    }
+}
+
+/* Upwind-biased d1: both one-sided candidates, then a pointwise select
+   on the shift sign (beta >= 0 false for NaN, matching np.copyto with
+   a greater_equal mask). */
+static void upwind_d1(const double* u, const double* beta, double* out,
+                      double* dpos, double* dneg, const double* wp,
+                      const double* wn, long P, long r, long k,
+                      long stride, double hf)
+{
+    sweep(u, dpos, wp, P, r, k, stride, 6, 2, hf, 0);
+    sweep(u, dneg, wn, P, r, k, stride, 6, 3, hf, 0);
+    for (long z = 0; z < r; ++z)
+    for (long y = 0; y < r; ++y)
+    for (long x = 0; x < r; ++x) {
+        const long pp = ((z * r) + y) * r + x;
+        const double b = beta[(((z + k) * P) + (y + k)) * P + (x + k)];
+        out[pp] = (b >= 0.0) ? dpos[pp] : dneg[pp];
+    }
+}
+
+/* Linear wave RHS for one chunk: laplacian * c^2 into rhs_pi, KO(phi)
+   * sigma + pi into rhs_phi, KO(pi) * sigma into ko_pi (and added to
+   rhs_pi when finalize_pi, i.e. no source term follows). */
+void wave_rhs_chunk(const double* patches, long ntot, long lo, long nc,
+                    long P, long r, long k,
+                    const double* hf1, const double* hf2,
+                    const double* w2, const double* wko,
+                    double c2, double sigma, long finalize_pi,
+                    double* rhs_phi, double* rhs_pi, double* ko_pi)
+{
+    const long PPP = P * P * P;
+    const long NP = r * r * r;
+    for (long i = 0; i < nc; ++i) {
+        const long g = lo + i;
+        const double* phi = patches + ((0L * ntot + g) * PPP);
+        const double* pi  = patches + ((1L * ntot + g) * PPP);
+        double* rf = rhs_phi + i * NP;
+        double* rp = rhs_pi + i * NP;
+        double* kp = ko_pi + i * NP;
+        const double f1 = hf1[i], f2 = hf2[i];
+        sweep(phi, rp, w2, P, r, k, 1, 7, 3, f2, 0);
+        sweep(phi, rp, w2, P, r, k, P, 7, 3, f2, 1);
+        sweep(phi, rp, w2, P, r, k, P * P, 7, 3, f2, 1);
+        for (long p = 0; p < NP; ++p) rp[p] *= c2;
+        sweep(phi, rf, wko, P, r, k, 1, 7, 3, f1, 0);
+        sweep(phi, rf, wko, P, r, k, P, 7, 3, f1, 1);
+        sweep(phi, rf, wko, P, r, k, P * P, 7, 3, f1, 1);
+        for (long z = 0; z < r; ++z)
+        for (long y = 0; y < r; ++y)
+        for (long x = 0; x < r; ++x) {
+            const long pp = ((z * r) + y) * r + x;
+            const long pc = (((z + k) * P) + (y + k)) * P + (x + k);
+            rf[pp] = rf[pp] * sigma + pi[pc];
+        }
+        sweep(pi, kp, wko, P, r, k, 1, 7, 3, f1, 0);
+        sweep(pi, kp, wko, P, r, k, P, 7, 3, f1, 1);
+        sweep(pi, kp, wko, P, r, k, P * P, 7, 3, f1, 1);
+        if (finalize_pi) {
+            for (long p = 0; p < NP; ++p) {
+                kp[p] *= sigma;
+                rp[p] += kp[p];
+            }
+        } else {
+            for (long p = 0; p < NP; ++p) kp[p] *= sigma;
+        }
+    }
+}
+"""
+
+#: cffi declarations for the two entry points
+FFI_DECLS = """
+void bssn_rhs_chunk(const double* patches, long ntot, long lo, long nc,
+                    long P, long r, long k,
+                    const double* hf1, const double* hf2, const double* hfk,
+                    const double* w1, const double* w2, const double* wko,
+                    const double* wup, const double* wun,
+                    const double* params, const long* bdry,
+                    double* rhs, double* d1_out, double* scratch);
+void wave_rhs_chunk(const double* patches, long ntot, long lo, long nc,
+                    long P, long r, long k,
+                    const double* hf1, const double* hf2,
+                    const double* w2, const double* wko,
+                    double c2, double sigma, long finalize_pi,
+                    double* rhs_phi, double* rhs_pi, double* ko_pi);
+"""
+
+
+def emit_c_source(spec: KernelSpec) -> str:
+    """Full C translation unit: stencil helpers, the wave kernel, and the
+    fused BSSN chunk kernel whose A body is generated from ``spec``."""
+    values, derivs, params_used = classify_inputs(spec)
+    lines = [_C_PRELUDE]
+    lines.append(
+        f"/* fused BSSN D+A+KO chunk kernel; variant: {spec.variant};\n"
+        f"   schedule digest: {schedule_digest(spec.statements)};\n"
+        f"   {len(spec.statements)} statements, {spec.total_flops} "
+        "flops/point */"
+    )
+    lines.append(
+        "void bssn_rhs_chunk(const double* patches, long ntot, long lo,"
+        " long nc,\n"
+        "                    long P, long r, long k,\n"
+        "                    const double* hf1, const double* hf2,"
+        " const double* hfk,\n"
+        "                    const double* w1, const double* w2,"
+        " const double* wko,\n"
+        "                    const double* wup, const double* wun,\n"
+        "                    const double* params, const long* bdry,\n"
+        "                    double* rhs, double* d1_out, double* scratch)\n"
+        "{"
+    )
+    a = lines.append
+    a("    const long PPP = P * P * P;")
+    a("    const long NP = r * r * r;")
+    for j, name in enumerate(PARAM_ORDER):
+        a(f"    const double {name} = params[{j}];")
+    a(f"    const double p_chi_floor = params[{IDX_CHI_FLOOR}];")
+    a(f"    const double p_ko_sigma = params[{IDX_KO_SIGMA}];")
+    a(f"    const int use_upwind = (int)params[{IDX_USE_UPWIND}];")
+    a(f"    double* d1s = scratch;")
+    a(f"    double* advs = use_upwind ? scratch + {OFF_ADV}L * NP : d1s;")
+    a(f"    double* d2s = scratch + {OFF_D2}L * NP;")
+    a(f"    double* kos = scratch + {OFF_KO}L * NP;")
+    a(f"    double* T = scratch + {OFF_TMP}L * NP;")
+    a("    double* dpos = T + P * r * r;")
+    a("    double* dneg = dpos + NP;")
+    a("    for (long i = 0; i < nc; ++i) {")
+    a("        const long g = lo + i;")
+    a("        const double fx1 = hf1[i], fx2 = hf2[i], fxk = hfk[i];")
+    a("        /* D stage: all first derivatives + summed KO */")
+    a(f"        for (long v = 0; v < {S.NUM_VARS}; ++v) {{")
+    a("            const double* pu = patches + ((v * ntot + g) * PPP);")
+    a("            sweep(pu, d1s + (v * 3 + 0) * NP, w1, P, r, k, 1, 7, 3,"
+      " fx1, 0);")
+    a("            sweep(pu, d1s + (v * 3 + 1) * NP, w1, P, r, k, P, 7, 3,"
+      " fx1, 0);")
+    a("            sweep(pu, d1s + (v * 3 + 2) * NP, w1, P, r, k, P * P, 7,"
+      " 3, fx1, 0);")
+    a("            sweep(pu, kos + v * NP, wko, P, r, k, 1, 7, 3, fxk, 0);")
+    a("            sweep(pu, kos + v * NP, wko, P, r, k, P, 7, 3, fxk, 1);")
+    a("            sweep(pu, kos + v * NP, wko, P, r, k, P * P, 7, 3, fxk,"
+      " 1);")
+    a("        }")
+    a("        if (use_upwind) {")
+    a(f"            for (long v = 0; v < {S.NUM_VARS}; ++v) {{")
+    a("                const double* pu = patches + ((v * ntot + g) * PPP);")
+    for d, beta_var in enumerate(S.BETA):
+        stride = ("1", "P", "P * P")[d]
+        a(f"                upwind_d1(pu, patches + (({beta_var}L * ntot"
+          f" + g) * PPP),")
+        a(f"                          advs + (v * 3 + {d}) * NP, dpos, dneg,"
+          " wup, wun,")
+        a(f"                          P, r, k, {stride}, fx1);")
+    a("            }")
+    a("        }")
+    a("        /* second derivatives of the 11 SECOND_DERIV_VARS */")
+    for s2i, var in enumerate(_S2):
+        base = f"d2s + ({s2i} * 6"
+        a(f"        {{ const double* pu = patches + (({var}L * ntot + g)"
+          " * PPP);")
+        a(f"          sweep(pu, {base} + 0) * NP, w2, P, r, k, 1, 7, 3,"
+          " fx2, 0);")
+        a(f"          d2_mixed_xy(pu, {base} + 1) * NP, T, w1, P, r, k,"
+          " fx1);")
+        a(f"          d2_mixed_xz(pu, {base} + 2) * NP, T, w1, P, r, k,"
+          " fx1);")
+        a(f"          sweep(pu, {base} + 3) * NP, w2, P, r, k, P, 7, 3,"
+          " fx2, 0);")
+        a(f"          d2_mixed_yz(pu, {base} + 4) * NP, T, w1, P, r, k,"
+          " fx1);")
+        a(f"          sweep(pu, {base} + 5) * NP, w2, P, r, k, P * P, 7, 3,"
+          " fx2, 0); }")
+    a("        /* export d1 for boundary octants (Sommerfeld runs on the")
+    a("           NumPy side against these bitwise-identical blocks) */")
+    a("        if (d1_out && bdry[i]) {")
+    a(f"            for (long v = 0; v < {S.NUM_VARS}; ++v)")
+    a("                for (long d = 0; d < 3; ++d)")
+    a(f"                    memcpy(d1_out + ((d * {S.NUM_VARS}L + v) * nc"
+      " + i) * NP,")
+    a("                           d1s + (v * 3 + d) * NP,")
+    a("                           NP * sizeof(double));")
+    a("        }")
+    a("        /* A stage: the scheduled algebra + KO add, one pass */")
+    for name in values:
+        idx = S.VAR_NAMES.index(name)
+        a(f"        const double* pv_{name} = patches + (({idx}L * ntot"
+          " + g) * PPP);")
+    a("        for (long z = 0; z < r; ++z)")
+    a("        for (long y = 0; y < r; ++y)")
+    a("        for (long x = 0; x < r; ++x) {")
+    a("            const long pp = ((z * r) + y) * r + x;")
+    a("            const long pc = (((z + k) * P) + (y + k)) * P + (x + k);")
+    for name in values:
+        if name == "chi":
+            a(f"            const double {name} = np_maximum(pv_{name}[pc],"
+              " p_chi_floor);")
+        else:
+            a(f"            const double {name} = pv_{name}[pc];")
+    for name in derivs:
+        region, block = _deriv_block(name)
+        a(f"            const double {name} = {region}[{block}L * NP + pp];")
+    for kind, tgt, expr in lowered_statements(spec, "c"):
+        if kind == "out":
+            a(f"            rhs[({tgt}L * nc + i) * NP + pp] = ({expr})"
+              f" + kos[{tgt}L * NP + pp] * p_ko_sigma;")
+        else:
+            a(f"            const double {tgt} = {expr};")
+    a("        }")
+    a("    }")
+    a("}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Python / Numba emission (same structure, flat-index arrays)
+# ---------------------------------------------------------------------------
+
+_PY_PRELUDE = '''\
+"""generated by repro.codegen.cbackend -- do not edit
+
+Pure-Python twin of the C kernels, written against flat float64 arrays
+with the exact same index arithmetic and accumulation order.  Decorated
+with numba.njit(fastmath=False) when Numba is available; executable
+un-jitted for correctness tests on tiny grids.
+"""
+
+
+def _np_maximum(a, b):
+    # NumPy maximum semantics: NaN in the first operand propagates
+    if a != a:
+        return a
+    return a if a > b else b
+
+
+def _sweep(u, ub, out, ob, w, P, r, k, stride, nw, left, hf, add):
+    for z in range(r):
+        for y in range(r):
+            row = ub + (((z + k) * P) + (y + k)) * P + k
+            orow = ob + ((z * r) + y) * r
+            for x in range(r):
+                c = row + x
+                if stride == 1:
+                    ev = w[0] * u[c - left]
+                    od = w[1] * u[c + 1 - left]
+                    for t in range(2, nw, 2):
+                        ev += w[t] * u[c + t - left]
+                    for t in range(3, nw, 2):
+                        od += w[t] * u[c + t - left]
+                    acc = ev + od
+                else:
+                    acc = 0.0
+                    for t in range(nw):
+                        acc += w[t] * u[c + (t - left) * stride]
+                if add:
+                    out[orow + x] += acc * hf
+                else:
+                    out[orow + x] = acc * hf
+
+
+def _d2_mixed_xy(u, ub, out, ob, T, tb, w, P, r, k, hf):
+    for z in range(r):
+        for yy in range(P):
+            row = ub + (((z + k) * P) + yy) * P + k
+            trow = tb + ((z * P) + yy) * r
+            for x in range(r):
+                ev = (w[0] * u[row + x - 3] + w[2] * u[row + x - 1]
+                      + w[4] * u[row + x + 1] + w[6] * u[row + x + 3])
+                od = (w[1] * u[row + x - 2] + w[3] * u[row + x]
+                      + w[5] * u[row + x + 2])
+                T[trow + x] = (ev + od) * hf
+    for z in range(r):
+        for y in range(r):
+            trow = tb + ((z * P) + (y + k)) * r
+            orow = ob + ((z * r) + y) * r
+            for x in range(r):
+                acc = 0.0
+                for t in range(7):
+                    acc += w[t] * T[trow + x + (t - 3) * r]
+                out[orow + x] = acc * hf
+
+
+def _d2_mixed_xz(u, ub, out, ob, T, tb, w, P, r, k, hf):
+    for zz in range(P):
+        for y in range(r):
+            row = ub + ((zz * P) + (y + k)) * P + k
+            trow = tb + ((zz * r) + y) * r
+            for x in range(r):
+                ev = (w[0] * u[row + x - 3] + w[2] * u[row + x - 1]
+                      + w[4] * u[row + x + 1] + w[6] * u[row + x + 3])
+                od = (w[1] * u[row + x - 2] + w[3] * u[row + x]
+                      + w[5] * u[row + x + 2])
+                T[trow + x] = (ev + od) * hf
+    for z in range(r):
+        for y in range(r):
+            trow = tb + (((z + k) * r) + y) * r
+            orow = ob + ((z * r) + y) * r
+            for x in range(r):
+                acc = 0.0
+                for t in range(7):
+                    acc += w[t] * T[trow + x + (t - 3) * r * r]
+                out[orow + x] = acc * hf
+
+
+def _d2_mixed_yz(u, ub, out, ob, T, tb, w, P, r, k, hf):
+    for zz in range(P):
+        for y in range(r):
+            c0 = ub + ((zz * P) + (y + k)) * P + k
+            trow = tb + ((zz * r) + y) * r
+            for x in range(r):
+                acc = 0.0
+                for t in range(7):
+                    acc += w[t] * u[c0 + x + (t - 3) * P]
+                T[trow + x] = acc * hf
+    for z in range(r):
+        for y in range(r):
+            trow = tb + (((z + k) * r) + y) * r
+            orow = ob + ((z * r) + y) * r
+            for x in range(r):
+                acc = 0.0
+                for t in range(7):
+                    acc += w[t] * T[trow + x + (t - 3) * r * r]
+                out[orow + x] = acc * hf
+
+
+def _upwind_d1(u, ub, beta, bb, s, ob, dpos, dneg, wp, wn,
+               P, r, k, stride, hf):
+    _sweep(u, ub, s, dpos, wp, P, r, k, stride, 6, 2, hf, 0)
+    _sweep(u, ub, s, dneg, wn, P, r, k, stride, 6, 3, hf, 0)
+    for z in range(r):
+        for y in range(r):
+            for x in range(r):
+                pp = ((z * r) + y) * r + x
+                b = beta[bb + (((z + k) * P) + (y + k)) * P + (x + k)]
+                s[ob + pp] = s[dpos + pp] if b >= 0.0 else s[dneg + pp]
+
+
+def wave_rhs_chunk(patches, ntot, lo, nc, P, r, k, hf1, hf2, w2, wko,
+                   c2, sigma, finalize_pi, rhs_phi, rhs_pi, ko_pi):
+    PPP = P * P * P
+    NP = r * r * r
+    for i in range(nc):
+        g = lo + i
+        phi = (0 * ntot + g) * PPP
+        pi = (1 * ntot + g) * PPP
+        rf = i * NP
+        rp = i * NP
+        kp = i * NP
+        f1 = hf1[i]
+        f2 = hf2[i]
+        _sweep(patches, phi, rhs_pi, rp, w2, P, r, k, 1, 7, 3, f2, 0)
+        _sweep(patches, phi, rhs_pi, rp, w2, P, r, k, P, 7, 3, f2, 1)
+        _sweep(patches, phi, rhs_pi, rp, w2, P, r, k, P * P, 7, 3, f2, 1)
+        for p in range(NP):
+            rhs_pi[rp + p] *= c2
+        _sweep(patches, phi, rhs_phi, rf, wko, P, r, k, 1, 7, 3, f1, 0)
+        _sweep(patches, phi, rhs_phi, rf, wko, P, r, k, P, 7, 3, f1, 1)
+        _sweep(patches, phi, rhs_phi, rf, wko, P, r, k, P * P, 7, 3, f1, 1)
+        for z in range(r):
+            for y in range(r):
+                for x in range(r):
+                    pp = ((z * r) + y) * r + x
+                    pc = (((z + k) * P) + (y + k)) * P + (x + k)
+                    rhs_phi[rf + pp] = rhs_phi[rf + pp] * sigma \\
+                        + patches[pi + pc]
+        _sweep(patches, pi, ko_pi, kp, wko, P, r, k, 1, 7, 3, f1, 0)
+        _sweep(patches, pi, ko_pi, kp, wko, P, r, k, P, 7, 3, f1, 1)
+        _sweep(patches, pi, ko_pi, kp, wko, P, r, k, P * P, 7, 3, f1, 1)
+        if finalize_pi:
+            for p in range(NP):
+                ko_pi[kp + p] *= sigma
+                rhs_pi[rp + p] += ko_pi[kp + p]
+        else:
+            for p in range(NP):
+                ko_pi[kp + p] *= sigma
+'''
+
+#: names of the jittable functions the Python source defines
+PY_KERNEL_NAMES = (
+    "_np_maximum", "_sweep", "_d2_mixed_xy", "_d2_mixed_xz", "_d2_mixed_yz",
+    "_upwind_d1", "wave_rhs_chunk", "bssn_rhs_chunk",
+)
+
+
+def emit_py_source(spec: KernelSpec) -> str:
+    """Python source of both kernels (the Numba backend's njit body)."""
+    values, derivs, params_used = classify_inputs(spec)
+    lines = [_PY_PRELUDE, ""]
+    a = lines.append
+    a(f"# variant: {spec.variant};"
+      f" schedule digest: {schedule_digest(spec.statements)}")
+    a("def bssn_rhs_chunk(patches, ntot, lo, nc, P, r, k, hf1, hf2, hfk,")
+    a("                   w1, w2, wko, wup, wun, params, bdry, rhs,")
+    a("                   d1_out, scratch):")
+    a("    PPP = P * P * P")
+    a("    NP = r * r * r")
+    for j, name in enumerate(PARAM_ORDER):
+        a(f"    {name} = params[{j}]")
+    a(f"    p_chi_floor = params[{IDX_CHI_FLOOR}]")
+    a(f"    p_ko_sigma = params[{IDX_KO_SIGMA}]")
+    a(f"    use_upwind = params[{IDX_USE_UPWIND}] != 0.0")
+    a("    d1s = 0")
+    a(f"    advs = {OFF_ADV} * NP if use_upwind else 0")
+    a(f"    d2s = {OFF_D2} * NP")
+    a(f"    kos = {OFF_KO} * NP")
+    a(f"    T = {OFF_TMP} * NP")
+    a("    dpos = T + P * r * r")
+    a("    dneg = dpos + NP")
+    a("    s = scratch")
+    a("    for i in range(nc):")
+    a("        g = lo + i")
+    a("        fx1 = hf1[i]")
+    a("        fx2 = hf2[i]")
+    a("        fxk = hfk[i]")
+    a(f"        for v in range({S.NUM_VARS}):")
+    a("            pu = (v * ntot + g) * PPP")
+    a("            _sweep(patches, pu, s, d1s + (v * 3 + 0) * NP, w1,"
+      " P, r, k, 1, 7, 3, fx1, 0)")
+    a("            _sweep(patches, pu, s, d1s + (v * 3 + 1) * NP, w1,"
+      " P, r, k, P, 7, 3, fx1, 0)")
+    a("            _sweep(patches, pu, s, d1s + (v * 3 + 2) * NP, w1,"
+      " P, r, k, P * P, 7, 3, fx1, 0)")
+    a("            _sweep(patches, pu, s, kos + v * NP, wko,"
+      " P, r, k, 1, 7, 3, fxk, 0)")
+    a("            _sweep(patches, pu, s, kos + v * NP, wko,"
+      " P, r, k, P, 7, 3, fxk, 1)")
+    a("            _sweep(patches, pu, s, kos + v * NP, wko,"
+      " P, r, k, P * P, 7, 3, fxk, 1)")
+    a("        if use_upwind:")
+    a(f"            for v in range({S.NUM_VARS}):")
+    a("                pu = (v * ntot + g) * PPP")
+    for d, beta_var in enumerate(S.BETA):
+        stride = ("1", "P", "P * P")[d]
+        a(f"                _upwind_d1(patches, pu, patches,"
+          f" ({beta_var} * ntot + g) * PPP,")
+        a(f"                           s, advs + (v * 3 + {d}) * NP,"
+          " dpos, dneg,")
+        a(f"                           wup, wun, P, r, k, {stride}, fx1)")
+    for s2i, var in enumerate(_S2):
+        base = f"d2s + ({s2i} * 6"
+        a(f"        pu = ({var} * ntot + g) * PPP")
+        a(f"        _sweep(patches, pu, s, {base} + 0) * NP, w2,"
+          " P, r, k, 1, 7, 3, fx2, 0)")
+        a(f"        _d2_mixed_xy(patches, pu, s, {base} + 1) * NP, s, T,"
+          " w1, P, r, k, fx1)")
+        a(f"        _d2_mixed_xz(patches, pu, s, {base} + 2) * NP, s, T,"
+          " w1, P, r, k, fx1)")
+        a(f"        _sweep(patches, pu, s, {base} + 3) * NP, w2,"
+          " P, r, k, P, 7, 3, fx2, 0)")
+        a(f"        _d2_mixed_yz(patches, pu, s, {base} + 4) * NP, s, T,"
+          " w1, P, r, k, fx1)")
+        a(f"        _sweep(patches, pu, s, {base} + 5) * NP, w2,"
+          " P, r, k, P * P, 7, 3, fx2, 0)")
+    a("        if d1_out.shape[0] > 0 and bdry[i] != 0:")
+    a(f"            for v in range({S.NUM_VARS}):")
+    a("                for d in range(3):")
+    a(f"                    db = ((d * {S.NUM_VARS} + v) * nc + i) * NP")
+    a("                    sb = (v * 3 + d) * NP")
+    a("                    for p in range(NP):")
+    a("                        d1_out[db + p] = s[sb + p]")
+    for name in values:
+        idx = S.VAR_NAMES.index(name)
+        a(f"        pv_{name} = ({idx} * ntot + g) * PPP")
+    a("        for z in range(r):")
+    a("          for y in range(r):")
+    a("            for x in range(r):")
+    a("                pp = ((z * r) + y) * r + x")
+    a("                pc = (((z + k) * P) + (y + k)) * P + (x + k)")
+    for name in values:
+        if name == "chi":
+            a(f"                {name} = _np_maximum(patches[pv_{name}"
+              " + pc], p_chi_floor)")
+        else:
+            a(f"                {name} = patches[pv_{name} + pc]")
+    for name in derivs:
+        region, block = _deriv_block(name)
+        a(f"                {name} = s[{region} + {block} * NP + pp]")
+    for kind, tgt, expr in lowered_statements(spec, "py"):
+        if kind == "out":
+            a(f"                rhs[({tgt} * nc + i) * NP + pp] = ({expr})"
+              f" + s[kos + {tgt} * NP + pp] * p_ko_sigma")
+        else:
+            a(f"                {tgt} = {expr}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# cffi ABI-mode build
+# ---------------------------------------------------------------------------
+
+class ToolchainError(RuntimeError):
+    """No working C toolchain / cffi for the native backend."""
+
+
+#: gcc flags: -ffp-contract=off is essential -- FMA contraction would
+#: change rounding and break the bitwise contract with NumPy
+CFLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off")
+
+
+def _cc() -> str | None:
+    import shutil
+
+    for cand in ("cc", "gcc", "clang"):
+        path = shutil.which(cand)
+        if path:
+            return path
+    return None
+
+
+def _cc_version(cc: str) -> str:
+    out = subprocess.run([cc, "--version"], capture_output=True, text=True,
+                         timeout=30)
+    return out.stdout.splitlines()[0] if out.stdout else "unknown"
+
+
+def _cache_dir() -> Path:
+    d = Path(__file__).resolve().parent / "_generated_cache"
+    d.mkdir(exist_ok=True)
+    return d
+
+
+def native_cache_key(source: str, cc_version: str, cffi_version: str) -> str:
+    """Key a built ``.so`` on the *exact* source (which embeds the
+    schedule digest), the compiler identity and the cffi version — a
+    stale native artifact can never be loaded against a different
+    schedule or toolchain."""
+    h = hashlib.sha256()
+    h.update(source.encode())
+    h.update(cc_version.encode())
+    h.update(cffi_version.encode())
+    return h.hexdigest()[:16]
+
+
+class NativeLib:
+    """A built-and-loaded shared library with its two kernel entry
+    points, plus build provenance for telemetry."""
+
+    def __init__(self, lib, ffi, path: Path, compile_seconds: float,
+                 from_cache: bool):
+        self.lib = lib
+        self.ffi = ffi
+        self.path = path
+        self.compile_seconds = compile_seconds
+        self.from_cache = from_cache
+
+    def ptr(self, arr: np.ndarray):
+        """A ``double*`` (or ``long*``) into a C-contiguous array."""
+        if not arr.flags["C_CONTIGUOUS"]:
+            raise ValueError("kernel buffers must be C-contiguous")
+        ctype = "long *" if arr.dtype == np.int64 else "double *"
+        return self.ffi.cast(ctype, arr.ctypes.data)
+
+
+def build_native_lib(source: str) -> NativeLib:
+    """Compile ``source`` into a cached ``.so`` and dlopen it via cffi.
+
+    Raises :class:`ToolchainError` when cffi or a C compiler is missing
+    or the compile fails; callers fall back down the backend ladder.
+    """
+    try:
+        import cffi
+    except ImportError as e:  # pragma: no cover - cffi ships with the env
+        raise ToolchainError(f"cffi unavailable: {e}") from e
+    cc = _cc()
+    if cc is None:
+        raise ToolchainError("no C compiler (cc/gcc/clang) on PATH")
+    cc_ver = _cc_version(cc)
+    key = native_cache_key(source, cc_ver, cffi.__version__)
+    cache = _cache_dir()
+    so_path = cache / f"native-{key}.so"
+    c_path = cache / f"native-{key}.c"
+    compile_seconds = 0.0
+    from_cache = so_path.exists()
+    if not from_cache:
+        c_path.write_text(source)
+        t0 = time.perf_counter()
+        tmp = so_path.with_suffix(".so.tmp")
+        proc = subprocess.run(
+            [cc, *CFLAGS, "-o", str(tmp), str(c_path), "-lm"],
+            capture_output=True, text=True, timeout=600,
+        )
+        if proc.returncode != 0:
+            raise ToolchainError(
+                f"{cc} failed ({proc.returncode}):\n{proc.stderr[-2000:]}"
+            )
+        tmp.replace(so_path)
+        compile_seconds = time.perf_counter() - t0
+        # prune artifacts built under older keys (stale schedules or
+        # toolchains can never be loaded again)
+        for old in cache.glob("native-*.so"):
+            if old != so_path:
+                old.unlink(missing_ok=True)
+        for old in cache.glob("native-*.c"):
+            if old != c_path:
+                old.unlink(missing_ok=True)
+    ffi = cffi.FFI()
+    ffi.cdef(FFI_DECLS)
+    lib = ffi.dlopen(str(so_path))
+    return NativeLib(lib, ffi, so_path, compile_seconds, from_cache)
+
+
+def compile_py_kernels(spec: KernelSpec, *, jit=None) -> dict:
+    """Exec the emitted Python source; returns its namespace.
+
+    ``jit`` (e.g. ``numba.njit(fastmath=False, cache=True)``) is applied
+    to every kernel function when given; without it the plain-Python
+    definitions are returned (slow — test-scale only).
+    """
+    src = emit_py_source(spec)
+    ns: dict = {}
+    exec(compile(src, f"<native-py:{spec.variant}>", "exec"), ns)
+    if jit is not None:
+        # wrapping in namespace order is enough: numba resolves callee
+        # globals lazily at first call, by which point every name in the
+        # exec namespace is already the jitted dispatcher
+        for name in PY_KERNEL_NAMES:
+            ns[name] = jit(ns[name])
+    return ns

@@ -31,6 +31,13 @@ from .regalloc import Statement
 
 VARIANTS = ("sympygr", "binary-reduce", "staged-cse")
 
+#: the native-lowering variant: the staged-cse schedule re-registered as
+#: a first-class variant of its own, so the dataflow verifier, the CUDA
+#: emitter and the analysis CLI treat the lowered schedule exactly like
+#: the generated ones (see repro.codegen.backends)
+COMPILED_VARIANT = "compiled"
+ALL_VARIANTS = VARIANTS + (COMPILED_VARIANT,)
+
 _printer = NumPyPrinter({"fully_qualified_modules": False})
 
 
@@ -91,6 +98,17 @@ def _binarize(e: sp.Expr, target: str, prefix: str,
                     acc = emit(f"{acc} * {base_ref}",
                                (acc, base_ref) if base_val else (acc,))
                 res = (acc, True)
+            elif exp.is_Integer and -4 <= int(exp) <= -1:
+                # x**-n as repeated multiplication + one division: every
+                # elementary op is IEEE-exact, so NumPy execution and the
+                # compiled backends agree bitwise (NumPy's large-array
+                # ``** -2.0`` dispatches to a SIMD pow that differs from
+                # libm at the last ulp — see repro.codegen.backends)
+                acc = base_ref
+                for _ in range(-int(exp) - 1):
+                    acc = emit(f"{acc} * {base_ref}",
+                               (acc, base_ref) if base_val else (acc,))
+                res = (emit(f"1.0 / {acc}", (acc,) if base_val else ()), True)
             else:
                 ins = (base_ref,) if base_val else ()
                 res = (emit(f"{base_ref} ** {float(exp)!r}", ins), True)
@@ -297,7 +315,34 @@ def _cache_key() -> str:
     return h.hexdigest()[:16]
 
 
+def schedule_digest(statements: list[Statement]) -> str:
+    """Content hash of an instruction schedule.
+
+    Stored alongside every cached spec and folded into the native-artifact
+    cache keys (:mod:`repro.codegen.backends`), so a compiled ``.so`` can
+    never be loaded against a schedule other than the one it was lowered
+    from.
+    """
+    import hashlib
+
+    h = hashlib.sha256()
+    for st in statements:
+        h.update(
+            f"{st.target}={st.src}|{','.join(st.inputs)}|{st.flops}"
+            f"|{st.is_output}|{st.output_var}\n".encode()
+        )
+    return h.hexdigest()[:16]
+
+
 def _load_cached_spec(variant: str) -> KernelSpec | None:
+    """Load one variant's cached spec, validating its schedule digest.
+
+    A corrupt pickle, a payload missing the digest, or a digest that no
+    longer matches the stored statements is *evicted* (unlinked) rather
+    than silently regenerated around — the stale file would otherwise
+    shadow every future load at the same cache key (mirrors the
+    validate-then-discard semantics of ``checkpoint.find_latest_valid``).
+    """
     import pickle
 
     path = _cache_dir() / f"{variant}-{_cache_key()}.pkl"
@@ -306,14 +351,18 @@ def _load_cached_spec(variant: str) -> KernelSpec | None:
     try:
         with open(path, "rb") as f:
             data = pickle.load(f)
+        statements = [Statement(**s) for s in data["statements"]]
+        if data["schedule_digest"] != schedule_digest(statements):
+            raise ValueError("schedule digest mismatch")
         return KernelSpec(
             variant=data["variant"],
-            statements=[Statement(**s) for s in data["statements"]],
+            statements=statements,
             input_names=set(data["input_names"]),
             source=data["source"],
             input_defs=data["input_defs"],
         )
     except Exception:
+        path.unlink(missing_ok=True)  # evict: corrupt or stale entry
         return None
 
 
@@ -321,18 +370,25 @@ def _store_cached_spec(spec: KernelSpec) -> None:
     import pickle
     from dataclasses import asdict
 
-    path = _cache_dir() / f"{spec.variant}-{_cache_key()}.pkl"
+    cache = _cache_dir()
+    path = cache / f"{spec.variant}-{_cache_key()}.pkl"
     data = {
         "variant": spec.variant,
         "statements": [asdict(s) for s in spec.statements],
         "input_names": sorted(spec.input_names),
         "source": spec.source,
         "input_defs": spec.input_defs,
+        "schedule_digest": schedule_digest(spec.statements),
     }
     tmp = path.with_suffix(".tmp")
     with open(tmp, "wb") as f:
         pickle.dump(data, f)
     tmp.replace(path)
+    # prune entries generated under older cache keys: they can never be
+    # loaded again and would otherwise accumulate forever
+    for old in cache.glob(f"{spec.variant}-*.pkl"):
+        if old != path:
+            old.unlink(missing_ok=True)
 
 
 @lru_cache(maxsize=None)
@@ -347,8 +403,16 @@ def get_kernel_spec(variant: str) -> KernelSpec:
         spec = generate_binary_reduce()
     elif variant == "staged-cse":
         spec = generate_staged_cse()
+    elif variant == COMPILED_VARIANT:
+        # the native lowering reuses the staged-cse schedule verbatim —
+        # same statements, same digest inputs — under its own variant name
+        base = generate_staged_cse()
+        spec = KernelSpec(COMPILED_VARIANT, base.statements,
+                          set(base.input_names), input_defs=base.input_defs)
     else:
-        raise ValueError(f"unknown variant {variant!r}; choose from {VARIANTS}")
+        raise ValueError(
+            f"unknown variant {variant!r}; choose from {ALL_VARIANTS}"
+        )
     spec.source = emit_source(spec)
     _store_cached_spec(spec)
     return spec

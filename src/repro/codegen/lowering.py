@@ -1,0 +1,119 @@
+"""Shared scalar lowering of instruction schedules.
+
+One schedule, three textual renderings: the CUDA emitter
+(:mod:`repro.codegen.cuda_emit`), the cffi C backend and the Numba
+backend (:mod:`repro.codegen.backends`) all lower the *same*
+dataflow-verified :class:`~repro.codegen.generators.KernelSpec`
+statement stream to per-point scalar code.  This module holds the parts
+they share: input classification, the per-statement iterator, and the
+``**`` translation policies.
+
+Bitwise contract
+----------------
+The generated schedules (after ``_binarize``) contain only ``+ - * /``
+and ``** e`` for non-trivial exponents.  Elementary IEEE-754 operations
+are exactly rounded, so any backend that executes the same statements
+with the same scalar types agrees with the NumPy execution *bitwise* —
+per statement, per point.  The only escape hatch is ``pow``: NumPy
+dispatches large-array ``** e`` to a SIMD implementation that differs
+from libm at the last ulp, which is why ``_binarize`` expands small
+integer exponents into multiplies and a division, and why
+:func:`is_bitwise_lowerable` reports any residual ``pow`` fallback.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .generators import KernelSpec
+from .regalloc import is_register_input
+from .symbols import PARAM_SYMBOLS
+
+_POW_RE = re.compile(r"(\w+) \*\* ([-\d.e]+)")
+
+#: exponents each policy can translate to an exactly-rounded form
+_EXACT_EXPONENTS = (-1.0, 0.5)
+
+
+def _pow_cuda(base: str, exp: float) -> str:
+    """CUDA policy: fast device forms (rsqrt, reciprocal chains)."""
+    if exp == -1.0:
+        return f"(1.0 / {base})"
+    if exp == 0.5:
+        return f"sqrt({base})"
+    if exp == -0.5:
+        return f"rsqrt({base})"
+    if exp == int(exp) and -4 <= exp < 0:
+        reps = "*".join([base] * int(-exp))
+        return f"(1.0 / ({reps}))"
+    return f"pow({base}, {exp})"
+
+
+def _pow_c(base: str, exp: float) -> str:
+    """C policy: only exactly-rounded rewrites (division, sqrt), so the
+    result bit-matches NumPy's ufunc execution; anything else falls back
+    to libm ``pow`` (flagged by :func:`is_bitwise_lowerable`)."""
+    if exp == -1.0:
+        return f"(1.0 / {base})"
+    if exp == 0.5:
+        return f"sqrt({base})"
+    return f"pow({base}, {exp})"
+
+
+def _pow_py(base: str, exp: float) -> str:
+    """Python/Numba policy: mirrors :func:`_pow_c` (``math.sqrt`` and
+    ``math.pow`` lower to the same libm/LLVM intrinsics under njit)."""
+    if exp == -1.0:
+        return f"(1.0 / {base})"
+    if exp == 0.5:
+        return f"sqrt({base})"
+    return f"pow({base}, {exp})"
+
+
+_POLICIES = {"cuda": _pow_cuda, "c": _pow_c, "py": _pow_py}
+
+
+def scalar_expr(src: str, policy: str = "cuda") -> str:
+    """Translate one generated expression string to the target language."""
+    fn = _POLICIES[policy]
+
+    def repl(m):
+        return fn(m.group(1), float(m.group(2)))
+
+    return _POW_RE.sub(repl, src)
+
+
+def classify_inputs(spec: KernelSpec) -> tuple[list[str], list[str], list[str]]:
+    """``(values, derivs, params)`` actually referenced by the schedule,
+    each sorted by name (the derivative order is the kernels' pointer
+    ABI — see :func:`repro.codegen.cuda_emit.deriv_input_order`)."""
+    used = sorted(
+        {n for st in spec.statements for n in st.inputs if n in spec.input_names}
+    )
+    derivs = [n for n in used if is_register_input(n)]
+    values = [n for n in used
+              if not is_register_input(n) and n not in PARAM_SYMBOLS]
+    params = [n for n in used if n in PARAM_SYMBOLS]
+    return values, derivs, params
+
+
+def lowered_statements(spec: KernelSpec, policy: str):
+    """Yield ``("decl", target, expr)`` / ``("out", var, expr)`` tuples,
+    one per schedule statement, with ``**`` already translated."""
+    for st in spec.statements:
+        expr = scalar_expr(st.src, policy)
+        if st.is_output:
+            yield ("out", st.output_var, expr)
+        else:
+            yield ("decl", st.target, expr)
+
+
+def is_bitwise_lowerable(spec: KernelSpec) -> tuple[bool, list[str]]:
+    """Whether the "c"/"py" lowering of this schedule is bitwise-exact
+    against NumPy execution; returns ``(ok, offending_exponent_srcs)``."""
+    offenders = []
+    for st in spec.statements:
+        for m in _POW_RE.finditer(st.src):
+            if float(m.group(2)) not in _EXACT_EXPONENTS:
+                offenders.append(st.src)
+    return (not offenders, offenders)

@@ -104,6 +104,13 @@ def apply_stencil(
         if out is None:
             out = np.empty(out_shape, dtype=u.dtype)  # alloc-ok: out=None fallback
         win = sliding_window_view(u, left + right + 1, axis=axis)
+        # Deterministic accumulation orders, mirrored exactly by the
+        # compiled backend (repro.codegen.cbackend) and pinned by its
+        # bitwise tests: a unit-stride tap axis hits einsum's contiguous
+        # inner loop, which keeps two alternating accumulators (even
+        # taps, odd taps) and adds them once at the end; a strided tap
+        # axis reduces across outer iterations, i.e. sequentially in
+        # forward offset order.
         np.einsum("...w,w->...", win, kernel, out=out)
     else:
         # legacy tap loop: accumulate shifted views

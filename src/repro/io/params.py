@@ -45,6 +45,13 @@ class RunConfig:
     ko_sigma: float = 0.4
     chi_floor: float = 1e-4
     use_upwind: bool = True
+    # execution
+    #: RHS execution backend: "numpy" (pooled NumPy), "compiled" (fused
+    #: native kernels; errors if unsupported), or "auto" (compiled when
+    #: available).  Part of the cache key: compiled and numpy runs are
+    #: bitwise-identical by construction, but keying them separately
+    #: keeps the provenance of cached results unambiguous.
+    backend: str = "numpy"
     # evolution
     courant: float = 0.25
     t_end: float = 1.0
@@ -85,6 +92,8 @@ class RunConfig:
         """Raise ValueError on inconsistent parameters."""
         if self.solver not in ("bssn", "wave"):
             raise ValueError("solver must be 'bssn' or 'wave'")
+        if self.backend not in ("numpy", "compiled", "auto"):
+            raise ValueError("backend must be 'numpy', 'compiled' or 'auto'")
         if self.mass_ratio < 1.0:
             raise ValueError("mass_ratio is m1/m2 with m1 >= m2, so q >= 1")
         if not 0 <= self.base_level <= self.max_level:
@@ -183,6 +192,7 @@ class RunConfig:
                 self.build_mesh(),
                 courant=self.courant,
                 ko_sigma=self.ko_sigma,
+                backend=self.backend,
             )
             coords = solver.coords()
             r2 = (coords**2).sum(axis=-1)
@@ -191,7 +201,8 @@ class RunConfig:
         from repro.solver import BSSNSolver
 
         solver = BSSNSolver(
-            self.build_mesh(), self.bssn_params(), courant=self.courant
+            self.build_mesh(), self.bssn_params(), courant=self.courant,
+            backend=self.backend,
         )
         solver.set_punctures(self.build_punctures())
         return solver

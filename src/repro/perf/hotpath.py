@@ -33,6 +33,7 @@ HOT_MODULES = (
     "repro.solver.wave_solver",
     "repro.solver.bssn_solver",
     "repro.resilience.health",
+    "repro.codegen.backends",
 )
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass, field
+from types import SimpleNamespace
 
 import numpy as np
 
@@ -163,6 +164,7 @@ class BSSNSolver:
         algebra=None,
         pooled: bool = True,
         profiler: StepProfiler | None = None,
+        backend: str = "numpy",
     ):
         self.mesh = mesh
         self.params = params if params is not None else BSSNParams()
@@ -172,6 +174,28 @@ class BSSNSolver:
         #: optional generated A-component kernel (repro.codegen); None
         #: uses the hand-vectorised reference
         self.algebra = algebra
+        #: "numpy" | "compiled" | "auto" — "compiled" runs the fused
+        #: native chunk kernel (repro.codegen.backends); results are
+        #: bitwise-identical to the numpy execution of the same
+        #: generated schedule
+        from repro.codegen.backends import resolve_backend
+
+        self.backend = resolve_backend(backend)
+        self._native = None
+        if self.backend == "compiled":
+            if not pooled:
+                raise ValueError(
+                    "backend='compiled' requires pooled=True (the native "
+                    "kernels write into the workspace arena)"
+                )
+            if algebra is not None:
+                raise ValueError(
+                    "backend='compiled' fuses its own A kernel; drop the "
+                    "algebra= override or use backend='numpy'"
+                )
+            from repro.codegen.backends import NativeBSSNRHS
+
+            self._native = NativeBSSNRHS()
         #: pooled=True runs the zero-allocation hot path (workspace arena,
         #: coalesced scatter, in-place RK4); False is the allocating
         #: pre-workspace driver, kept as the benchmark baseline.  Both
@@ -287,7 +311,32 @@ class BSSNSolver:
                 chunks.append((lo, hi, [f for f in faces if len(f[2])]))
         rhs = np.empty_like(u) if out is None else out  # alloc-ok: fallback
         coords = self.coords()
+        metrics = getattr(prof, "metrics", None)
         for lo, hi, faces in chunks:
+            if self._native is not None:
+                # compiled backend: one fused native call does the whole
+                # D + A + KO pipeline (timed under "deriv"; the phases
+                # it subsumes — deriv and algebra — are not separable)
+                with prof.phase("deriv"):
+                    chunk_rhs, d1v = self._native(
+                        patches, lo, hi, mesh, self.params, faces, pool,
+                        metrics=metrics,
+                    )
+                if faces:
+                    with prof.phase("zip"):
+                        interior = patches[
+                            :, lo:hi, k : k + r, k : k + r, k : k + r
+                        ]
+                        values = pool.get("solver.values", interior.shape)
+                        np.copyto(values, interior)
+                    with prof.phase("boundary"):
+                        apply_sommerfeld(
+                            chunk_rhs, values, SimpleNamespace(d1=d1v),
+                            coords[lo:hi], faces,
+                        )
+                with prof.phase("zip"):
+                    rhs[:, lo:hi] = chunk_rhs
+                continue
             pch = patches[:, lo:hi]
             h = mesh.dx[lo:hi]
             with prof.phase("deriv"):

@@ -62,6 +62,7 @@ class WaveSolver:
         unzip_method: str = "scatter",
         pooled: bool = True,
         profiler: StepProfiler | None = None,
+        backend: str = "numpy",
     ):
         self.mesh = mesh
         self.speed = speed
@@ -73,6 +74,22 @@ class WaveSolver:
         #: pooled=True is the zero-allocation hot path; False the
         #: allocating pre-workspace baseline (identical results)
         self.pooled = bool(pooled)
+        #: "numpy" | "compiled" | "auto" — see repro.codegen.backends;
+        #: compiled runs the fused native Laplacian+KO chunk kernel,
+        #: bitwise-identical to the pooled NumPy path
+        from repro.codegen.backends import resolve_backend
+
+        self.backend = resolve_backend(backend)
+        self._native = None
+        if self.backend == "compiled":
+            if not pooled:
+                raise ValueError(
+                    "backend='compiled' requires pooled=True (the native "
+                    "kernel writes into the workspace arena)"
+                )
+            from repro.codegen.backends import NativeWaveRHS
+
+            self._native = NativeWaveRHS()
         self.profiler = profiler
         self.pd = PatchDerivatives(k=mesh.k)
         self.state = mesh.allocate(2)
@@ -149,8 +166,24 @@ class WaveSolver:
                                      tracer=prof.tracer)
         rhs = np.empty_like(u) if out is None else out  # alloc-ok: out=None fallback
         coords = self.coords()
+        metrics = getattr(prof, "metrics", None)
         for lo in range(0, n, self.chunk):
             hi = min(lo + self.chunk, n)
+            if self._native is not None:
+                # compiled backend: fused Laplacian + KO in one native
+                # call (timed under "deriv"; it subsumes the algebra
+                # phase except for the optional source term)
+                with prof.phase("deriv"):
+                    ko_pi = self._native(
+                        patches, lo, hi, mesh, self.speed**2,
+                        self.ko_sigma, self.source is None, rhs, pool,
+                        metrics=metrics,
+                    )
+                if self.source is not None:
+                    with prof.phase("algebra"):
+                        rhs[PI, lo:hi] += self.source(coords[lo:hi], t)
+                        rhs[PI, lo:hi] += ko_pi
+                continue
             h = mesh.dx[lo:hi]
             phi_p = patches[PHI, lo:hi]
             pi_p = patches[PI, lo:hi]

@@ -172,3 +172,61 @@ class TestSpillAnalysis:
         st = analyze_schedule(sts, {"x", "y"}, budget=8, input_defs="on-demand")
         assert st.spill_bytes == 0
         assert st.max_live <= 3
+
+
+class TestScheduleDiskCache:
+    """PR 6: the disk cache validates a stored schedule digest on load
+    and *evicts* corrupt or stale entries instead of silently serving
+    (or silently regenerating around) them."""
+
+    def test_roundtrip(self, tmp_path, monkeypatch):
+        from repro.codegen import generators as G
+
+        spec = get_kernel_spec("staged-cse")
+        monkeypatch.setattr(G, "_cache_dir", lambda: tmp_path)
+        G._store_cached_spec(spec)
+        back = G._load_cached_spec("staged-cse")
+        assert back is not None
+        assert [s.src for s in back.statements] == [s.src for s in spec.statements]
+        assert back.input_defs == spec.input_defs
+
+    def test_corrupt_pickle_evicted(self, tmp_path, monkeypatch):
+        from repro.codegen import generators as G
+
+        spec = get_kernel_spec("staged-cse")
+        monkeypatch.setattr(G, "_cache_dir", lambda: tmp_path)
+        G._store_cached_spec(spec)
+        path, = tmp_path.glob("staged-cse-*.pkl")
+        path.write_bytes(b"not a pickle")
+        assert G._load_cached_spec("staged-cse") is None
+        assert not path.exists(), "corrupt entry must be unlinked"
+
+    def test_stale_digest_evicted(self, tmp_path, monkeypatch):
+        """A payload whose statements no longer match its recorded digest
+        (e.g. a partial write or a hand-edited file) is evicted."""
+        import pickle
+
+        from repro.codegen import generators as G
+
+        spec = get_kernel_spec("staged-cse")
+        monkeypatch.setattr(G, "_cache_dir", lambda: tmp_path)
+        G._store_cached_spec(spec)
+        path, = tmp_path.glob("staged-cse-*.pkl")
+        data = pickle.loads(path.read_bytes())
+        data["statements"][0]["src"] = "tampered + 1.0"
+        path.write_bytes(pickle.dumps(data))
+        assert G._load_cached_spec("staged-cse") is None
+        assert not path.exists(), "stale entry must be unlinked"
+
+    def test_store_prunes_other_keys(self, tmp_path, monkeypatch):
+        """Old-generator-version artefacts at the same variant don't
+        accumulate: storing under a new key removes superseded files."""
+        from repro.codegen import generators as G
+
+        spec = get_kernel_spec("staged-cse")
+        monkeypatch.setattr(G, "_cache_dir", lambda: tmp_path)
+        stale = tmp_path / "staged-cse-deadbeef00000000.pkl"
+        stale.write_bytes(b"old generator version")
+        G._store_cached_spec(spec)
+        assert not stale.exists()
+        assert len(list(tmp_path.glob("staged-cse-*.pkl"))) == 1
