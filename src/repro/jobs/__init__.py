@@ -19,10 +19,17 @@ schedules, shards, and serves many such runs at once:
   :meth:`repro.io.RunConfig.cache_key`; identical specs never recompute;
 * :class:`Campaign` / :func:`campaign_report` — submit-side driver and
   the aggregated predicted-vs-actual / queue-statistics report;
+* :mod:`~repro.jobs.fabric` — multi-host coordination (DESIGN.md §12):
+  a :class:`~repro.jobs.fabric.Coordinator` serving queue shards over
+  length-prefixed JSON RPC with idempotency tokens, retry/backoff
+  deadlines, heartbeat-renewed leases, and degraded direct-file
+  fallback, plus the four-scenario chaos matrix that proves
+  exactly-once execution under faults;
 * ``python -m repro.jobs`` — ``submit`` / ``run-workers`` / ``status``
-  / ``cancel`` / ``report`` / ``demo``.
+  / ``cancel`` / ``report`` / ``demo`` / ``coordinator`` / ``chaos``.
 """
 
+from .backoff import Backoff
 from .cache import ResultCache
 from .campaign import (
     Campaign,
@@ -33,6 +40,7 @@ from .campaign import (
 from .pool import WorkerPool
 from .queue import (
     CANCELLED,
+    DEFAULT_LEASE_SECONDS,
     DONE,
     FAILED,
     PENDING,
@@ -46,10 +54,12 @@ from .worker import execute_job, state_digest, worker_loop
 
 __all__ = [
     "CANCELLED",
+    "DEFAULT_LEASE_SECONDS",
     "DONE",
     "FAILED",
     "PENDING",
     "RUNNING",
+    "Backoff",
     "Campaign",
     "JobError",
     "JobQueue",

@@ -1,0 +1,65 @@
+"""Bounded exponential backoff with full jitter.
+
+One retry-pacing policy shared by every polling/retrying loop in the
+campaign layer: the fabric RPC client (:mod:`repro.jobs.fabric.client`),
+the worker idle loop (:func:`repro.jobs.worker.worker_loop`), and the
+degraded-mode re-attach probe.  The schedule is the classic AWS
+"full jitter" scheme::
+
+    delay(k) = uniform(0, min(cap, base * factor**k))
+
+which decorrelates retries across many clients — dozens of idle workers
+polling one shared filesystem (or one coordinator socket) spread out
+instead of thundering in lockstep — while the cap bounds worst-case
+reaction latency once work appears.
+
+A ``seed`` makes the jitter sequence reproducible (the chaos tests pin
+it); by default each instance self-seeds from the OS.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+
+class Backoff:
+    """Full-jitter exponential backoff schedule.
+
+    ``base`` is the first attempt's delay ceiling, ``factor`` the
+    per-attempt growth, ``cap`` the ceiling every delay is clamped to.
+    ``next()`` returns the next delay (advancing the attempt counter);
+    ``sleep()`` additionally sleeps it.  ``reset()`` re-arms the
+    schedule after a success.
+    """
+
+    def __init__(self, base: float = 0.05, *, factor: float = 2.0,
+                 cap: float = 2.0, seed: int | None = None):
+        if base <= 0 or factor < 1.0 or cap < base:
+            raise ValueError("need base > 0, factor >= 1, cap >= base")
+        self.base = float(base)
+        self.factor = float(factor)
+        self.cap = float(cap)
+        self.attempt = 0
+        self._rng = random.Random(seed)
+
+    def peek_ceiling(self) -> float:
+        """The current attempt's delay ceiling (no jitter, no advance)."""
+        return min(self.cap, self.base * self.factor ** self.attempt)
+
+    def next(self) -> float:
+        """The next jittered delay in seconds; advances the schedule."""
+        delay = self._rng.uniform(0.0, self.peek_ceiling())
+        self.attempt += 1
+        return delay
+
+    def sleep(self) -> float:
+        """Sleep the next jittered delay; returns the delay slept."""
+        delay = self.next()
+        if delay > 0:
+            time.sleep(delay)
+        return delay
+
+    def reset(self) -> None:
+        """Re-arm the schedule (call after a successful attempt)."""
+        self.attempt = 0

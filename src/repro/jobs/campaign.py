@@ -46,6 +46,8 @@ class Campaign:
         self.root = pathlib.Path(root)
         self.queue = JobQueue(self.root, max_pending=max_pending,
                               lease_seconds=lease_seconds)
+        #: job ids the parent-side reaper requeued during run_workers()
+        self.last_requeued: list[str] = []
 
     def submit(self, config: RunConfig, *, priority: int = 0,
                fault_steps=(), preempt: bool = False) -> dict:
@@ -89,26 +91,67 @@ class Campaign:
             records.append(self.submit(cfg, priority=priority))
         return records
 
-    def run_workers(self, n: int, *, timeout: float | None = None) -> bool:
-        """Start ``n`` workers and block until the queue drains."""
-        pool = WorkerPool(self.root, n).start()
-        ok = pool.join(timeout)
-        if not ok:
-            pool.terminate()
-        return ok
+    def run_workers(self, n: int, *, timeout: float | None = None,
+                    fabric: str | None = None,
+                    lease_seconds: float | None = None,
+                    reap_interval: float | None = None,
+                    checkpoint_every: int = 0) -> bool:
+        """Start ``n`` workers and block until the queue drains.
+
+        The parent runs the reaper on a cadence while it waits (default:
+        a quarter of the workers' lease), so jobs whose worker died are
+        requeued even when every surviving worker is busy; requeued ids
+        accumulate in :attr:`last_requeued`.  ``fabric`` attaches the
+        workers to a coordinator at ``host:port`` instead of the direct
+        file queue (the coordinator then owns reaping).
+        """
+        from .queue import DEFAULT_LEASE_SECONDS
+
+        lease = (DEFAULT_LEASE_SECONDS if lease_seconds is None
+                 else float(lease_seconds))
+        if reap_interval is None:
+            reap_interval = max(0.5, lease / 4.0)
+        pool = WorkerPool(self.root, n, fabric=fabric, lease_seconds=lease,
+                          checkpoint_every=checkpoint_every).start()
+        self.last_requeued: list[str] = []
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while True:
+            step = reap_interval
+            if deadline is not None:
+                step = min(step, max(0.0, deadline - time.monotonic()))
+            ok = pool.join(step)
+            if fabric is None:  # attached workers: the coordinator reaps
+                try:
+                    self.last_requeued += self.queue.reap()
+                except OSError:
+                    pass
+            if ok:
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                pool.terminate()
+                return False
 
     def status(self) -> dict:
-        """Counts, per-job states, and the predicted makespan."""
+        """Counts, per-job states, requeue history, and the predicted
+        makespan."""
         jobs = self.queue.jobs()
         _, makespan = pack(jobs.values(), max(1, _running_workers(jobs)))
+        requeued = {
+            jid: [f"{q['reason']}@{q['wall']:.0f}"
+                  for q in r.get("requeues", [])]
+            for jid, r in sorted(jobs.items()) if r.get("requeues")
+        }
         return {
             "counts": self.queue.counts(),
             "predicted_makespan_seconds": makespan,
+            "requeued": requeued,
             "jobs": {
                 jid: {
                     "state": r["state"], "priority": r["priority"],
                     "attempts": r["attempts"],
                     "preemptions": r["preemptions"],
+                    "requeues": len(r.get("requeues", [])),
                     "predicted_seconds": predicted_seconds(r),
                     "worker": r["worker"],
                 }

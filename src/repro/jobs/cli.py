@@ -3,11 +3,13 @@
 Subcommands::
 
     submit      <campaign> -p file.json [...] [--sweep FIELD V1,V2,..]
-    run-workers <campaign> -n N
+    run-workers <campaign> -n N [--fabric HOST:PORT] [--lease-seconds S]
+    coordinator <campaign> [--port P] [--shard DIR ...]
     status      <campaign>
     cancel      <campaign> JOB_ID
     report      <campaign> [--json OUT]
     demo        [-d DIR] [-n WORKERS]   # the CI end-to-end smoke campaign
+    chaos       [-d DIR] [--quick]      # the fabric chaos matrix (CI gate)
 
 ``demo`` builds and drives a full campaign on tiny wave-solver configs:
 six jobs across three workers, including one fault-injected job (NaN
@@ -64,6 +66,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", "--workers", type=int, default=2)
     p.add_argument("--timeout", type=float, default=None,
                    help="overall seconds before giving up")
+    p.add_argument("--fabric", default=None, metavar="HOST:PORT",
+                   help="claim through a fabric coordinator instead of "
+                        "the direct file queue")
+    p.add_argument("--lease-seconds", type=float, default=None,
+                   help="running-job lease the workers heartbeat against "
+                        "(default: 60)")
+    p.add_argument("--reap-interval", type=float, default=None,
+                   help="parent-side reaper cadence (default: lease/4)")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="checkpoint running jobs every N steps")
+
+    p = sub.add_parser("coordinator",
+                       help="serve campaign queue shard(s) to remote "
+                            "workers over the fabric protocol")
+    _add_campaign(p)
+    p.add_argument("--shard", action="append", default=[],
+                   help="additional queue directory to serve (repeatable; "
+                        "the campaign dir is always shard 0)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (default: ephemeral, printed)")
+    p.add_argument("--lease-seconds", type=float, default=None)
+    p.add_argument("--reap-interval", type=float, default=None)
 
     p = sub.add_parser("status", help="queue counts, per-job states, "
                                       "predicted makespan")
@@ -85,6 +110,20 @@ def build_parser() -> argparse.ArgumentParser:
                    help="campaign directory (default: jobs-demo)")
     p.add_argument("-n", "--workers", type=int, default=3)
     p.add_argument("--timeout", type=float, default=600.0)
+
+    p = sub.add_parser("chaos", help="fabric chaos matrix: prove "
+                                     "exactly-once under injected failure")
+    p.add_argument("-d", "--dir", default="jobs-chaos",
+                   help="work directory (default: jobs-chaos; wiped)")
+    p.add_argument("--quick", action="store_true",
+                   help="smaller jobs, shorter partition (CI profile)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scenario", action="append", default=[],
+                   choices=["restart", "worker-death", "partition",
+                            "dup-storm"],
+                   help="run only these scenarios (repeatable)")
+    p.add_argument("--json", dest="json_out", default=None,
+                   help="also write the JSON report here")
     return parser
 
 
@@ -127,12 +166,42 @@ def cmd_submit(args) -> int:
 def cmd_run_workers(args) -> int:
     from .campaign import Campaign
 
-    ok = Campaign(args.campaign).run_workers(args.workers,
-                                             timeout=args.timeout)
+    campaign = Campaign(args.campaign)
+    ok = campaign.run_workers(args.workers, timeout=args.timeout,
+                              fabric=args.fabric,
+                              lease_seconds=args.lease_seconds,
+                              reap_interval=args.reap_interval,
+                              checkpoint_every=args.checkpoint_every)
+    if campaign.last_requeued:
+        print("reaper requeued: " + " ".join(campaign.last_requeued))
     if not ok:
         print("run-workers: timed out before the queue drained",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_coordinator(args) -> int:
+    from .fabric import Coordinator
+    from .queue import DEFAULT_LEASE_SECONDS
+
+    lease = (DEFAULT_LEASE_SECONDS if args.lease_seconds is None
+             else args.lease_seconds)
+    shards = [args.campaign] + list(args.shard)
+    coord = Coordinator(args.campaign, shards=shards, host=args.host,
+                        port=args.port, lease_seconds=lease,
+                        reap_interval=args.reap_interval).start()
+    host, port = coord.address
+    print(f"coordinator epoch {coord.epoch} serving {len(shards)} "
+          f"shard(s) on {host}:{port}  (lease {lease:.0f}s; Ctrl-C stops)")
+    sys.stdout.flush()
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        coord.stop()
     return 0
 
 
@@ -150,7 +219,12 @@ def cmd_status(args) -> int:
     for jid, j in status["jobs"].items():
         print(f"  {jid:28s} {j['state']:9s} prio={j['priority']:3d} "
               f"attempts={j['attempts']} preempts={j['preemptions']} "
+              f"requeues={j['requeues']} "
               f"predicted={j['predicted_seconds']:.3f}s")
+    if status["requeued"]:
+        print("requeued jobs:")
+        for jid, reasons in status["requeued"].items():
+            print(f"  {jid:28s} {', '.join(reasons)}")
     return 0
 
 
@@ -303,13 +377,32 @@ def cmd_demo(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from .fabric.chaos import render_matrix, run_matrix
+
+    report = run_matrix(args.dir, quick=args.quick, seed=args.seed,
+                        scenarios=args.scenario or None)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, default=str)
+    print(render_matrix(report))
+    if not report["ok"]:
+        print("\nchaos matrix FAILED", file=sys.stderr)
+        return 1
+    print("\nchaos matrix PASSED: every job done exactly once, digests "
+          "identical to the fault-free reference")
+    return 0
+
+
 COMMANDS = {
     "submit": cmd_submit,
     "run-workers": cmd_run_workers,
+    "coordinator": cmd_coordinator,
     "status": cmd_status,
     "cancel": cmd_cancel,
     "report": cmd_report,
     "demo": cmd_demo,
+    "chaos": cmd_chaos,
 }
 
 

@@ -1,0 +1,69 @@
+"""Fault-tolerant multi-host campaign fabric (see DESIGN.md §12).
+
+A socket layer that turns one or more file-backed
+:class:`repro.jobs.JobQueue` shards into a service remote workers can
+claim from — engineered for failure first:
+
+* :mod:`~repro.jobs.fabric.protocol` — length-prefixed JSON frames with
+  per-op idempotency tokens;
+* :class:`Coordinator` — threaded RPC front-end that journals every
+  mutation through the crash-safe queues (kill it, restart it, nothing
+  is lost or double-run), reaps expired leases on a cadence, and lets
+  workers steal across shards;
+* :class:`FabricClient` / :class:`FabricQueue` — deadline + bounded
+  full-jitter backoff + exactly-once retries, degrading to direct
+  file-queue mode while the coordinator is away and re-attaching when
+  it returns;
+* the chaos matrix (``python -m repro.jobs chaos``) proves the
+  guarantees under coordinator kill+restart, worker death, partitions,
+  and duplicate-delivery storms via
+  :class:`repro.resilience.ChaosProxy`.
+"""
+
+from __future__ import annotations
+
+from .client import (
+    CoordinatorUnreachable,
+    FabricClient,
+    FabricError,
+    FabricQueue,
+    RpcRemoteError,
+    worker_pid_tag,
+)
+from .coordinator import Coordinator
+from .protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    encode_frame,
+    new_token,
+    recv_frame,
+    send_frame,
+)
+
+
+def parse_address(spec) -> tuple[str, int]:
+    """``"host:port"`` (or an (host, port) pair) → (host, port)."""
+    if isinstance(spec, (tuple, list)):
+        return str(spec[0]), int(spec[1])
+    host, _, port = str(spec).rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected host:port, got {spec!r}")
+    return host, int(port)
+
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "Coordinator",
+    "CoordinatorUnreachable",
+    "FabricClient",
+    "FabricError",
+    "FabricQueue",
+    "ProtocolError",
+    "RpcRemoteError",
+    "encode_frame",
+    "new_token",
+    "parse_address",
+    "recv_frame",
+    "send_frame",
+    "worker_pid_tag",
+]

@@ -1,0 +1,393 @@
+"""Fabric RPC client and the queue facade workers run against.
+
+:class:`FabricClient` is engineered for failure first: every call gets
+
+* a per-attempt socket deadline (``rpc_timeout``) and an overall
+  ``deadline`` after which the op is abandoned;
+* bounded exponential backoff with full jitter between attempts
+  (:class:`repro.jobs.Backoff`), so a coordinator coming back from a
+  crash is not greeted by a synchronized retry stampede;
+* one idempotency token per *logical* op, reused verbatim across
+  retries — the server journals it, so a retry whose first attempt
+  actually committed is recognised and answered, never applied twice;
+* reconnect-on-any-failure: a timed-out connection is closed, killing
+  any stale response still in flight on it, and the echoed token is
+  checked besides (a late response to an older request is discarded).
+
+:class:`FabricQueue` presents the :class:`repro.jobs.JobQueue` surface
+(claim / complete / fail / requeue / heartbeat / preempt_requested /
+drained / counts / reap) over the client, and *degrades gracefully*:
+when the coordinator stays unreachable and the shard directories are
+locally accessible (shared filesystem), it falls back to direct
+file-queue mode — correct, because the coordinator journals through
+the very same crash-safe queues — and probes the socket on a backoff
+cadence to re-attach when the coordinator returns.  The
+``fabric_degraded`` gauge tracks which mode the worker is in.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+
+from ..backoff import Backoff
+from ..queue import JobError, JobQueue, QueueSaturated
+from .protocol import ProtocolError, new_token, recv_frame, send_frame
+
+
+class FabricError(RuntimeError):
+    """Base class of fabric client failures."""
+
+
+class CoordinatorUnreachable(FabricError):
+    """Every attempt within the deadline failed to get a response."""
+
+
+class RpcRemoteError(FabricError):
+    """The coordinator answered with a definitive error (no retry)."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.message = message
+
+
+def worker_pid_tag(host: str | None = None) -> str:
+    """The ``"host!pid"`` tag remote claims are recorded under — never
+    probed by a reaper on another machine (see ``JobQueue.reap``)."""
+    return f"{host or socket.gethostname()}!{os.getpid()}"
+
+
+class FabricClient:
+    """One connection to a coordinator, retried transparently."""
+
+    def __init__(self, address, *, rpc_timeout: float = 2.0,
+                 deadline: float = 15.0, backoff: Backoff | None = None,
+                 metrics=None):
+        self.address = (address[0], int(address[1]))
+        self.rpc_timeout = float(rpc_timeout)
+        self.deadline = float(deadline)
+        self.backoff = backoff or Backoff(base=0.02, cap=1.0)
+        self.metrics = metrics
+        self._sock: socket.socket | None = None
+        # the heartbeat thread shares this client with the worker loop;
+        # one RPC owns the connection at a time
+        self._lock = threading.RLock()
+
+    # -- connection management ----------------------------------------
+    def _connect(self, timeout: float) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        sock = socket.create_connection(self.address, timeout=timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        return sock
+
+    def close(self) -> None:
+        """Drop the connection (next call reconnects)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "FabricClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- the RPC path --------------------------------------------------
+    def call(self, op: str, *, token: str | None = None,
+             deadline: float | None = None, **args):
+        """One logical RPC: retried until it gets a definitive response
+        or the deadline passes.  Mutating ops should pass a ``token``
+        (minted once, before the first attempt) — :func:`new_token`.
+        """
+        overall = self.deadline if deadline is None else float(deadline)
+        with self._lock:
+            give_up = time.monotonic() + overall
+            request = {"op": op, "token": token, **args}
+            self.backoff.reset()
+            attempt = 0
+            last_exc: Exception | None = None
+            while True:
+                budget = give_up - time.monotonic()
+                if attempt > 0 and budget <= 0:
+                    break
+                t0 = time.perf_counter()
+                try:
+                    value = self._attempt(request, max(0.05, min(
+                        self.rpc_timeout,
+                        budget if attempt else self.rpc_timeout,
+                    )))
+                except (OSError, ProtocolError, socket.timeout) as exc:
+                    last_exc = exc
+                    self.close()
+                    if self.metrics is not None:
+                        self.metrics.counter("rpc_retries", op=op).inc()
+                    # the first attempt may have committed server-side:
+                    # flag the resend so dedup paths (e.g. the cross-
+                    # shard claim-token scan) run only when needed
+                    request["retry"] = True
+                    attempt += 1
+                    delay = self.backoff.next()
+                    if time.monotonic() + delay >= give_up:
+                        break
+                    time.sleep(delay)
+                    continue
+                if self.metrics is not None:
+                    self.metrics.histogram("rpc_latency_seconds", op=op) \
+                        .observe(time.perf_counter() - t0)
+                return value
+        raise CoordinatorUnreachable(
+            f"{op} to {self.address[0]}:{self.address[1]} failed after "
+            f"{attempt} attempts in {overall:.1f}s: {last_exc!r}"
+        )
+
+    def _attempt(self, request: dict, timeout: float):
+        sock = self._connect(timeout)
+        sock.settimeout(timeout)
+        send_frame(sock, request)
+        while True:
+            response = recv_frame(sock)
+            if response is None:
+                raise ProtocolError("connection closed awaiting response")
+            if response.get("token") != request.get("token"):
+                continue  # stale response to an abandoned earlier request
+            break
+        if response.get("ok"):
+            return response.get("value")
+        raise RpcRemoteError(response.get("kind", "error"),
+                             response.get("error", ""))
+
+
+class FabricQueue:
+    """The worker-side queue facade: RPC first, direct files as fallback.
+
+    ``roots`` (optional) lists the shard queue directories as seen from
+    *this* host; providing them enables degraded direct-file mode when
+    the coordinator is unreachable.  Without them the facade keeps
+    retrying the socket and reports no work in the meantime.
+    """
+
+    def __init__(self, address, *, roots=None, name: str = "worker",
+                 rpc_timeout: float = 2.0, deadline: float = 6.0,
+                 metrics=None, probe_base: float = 0.5,
+                 lease_seconds: float | None = None):
+        self.client = FabricClient(address, rpc_timeout=rpc_timeout,
+                                   deadline=deadline, metrics=metrics)
+        self.name = name
+        self.metrics = metrics
+        self.lease_seconds = lease_seconds
+        self.pid_tag = worker_pid_tag()
+        self._direct = ([JobQueue(r, lease_seconds=lease_seconds)
+                         for r in roots] if roots else [])
+        self._shards: dict[str, int] = {}  # job id -> shard it lives on
+        self.degraded = False
+        self._probe = Backoff(base=probe_base, cap=8.0)
+        self._next_probe = 0.0
+        self.coordinator_info: dict | None = None
+
+    # -- mode management -----------------------------------------------
+    def _gauge(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("fabric_degraded").set(1.0 if self.degraded
+                                                      else 0.0)
+
+    def _enter_degraded(self) -> None:
+        if not self.degraded:
+            self.degraded = True
+            self._probe.reset()
+            self._next_probe = time.monotonic() + self._probe.next()
+            self._gauge()
+
+    def attach(self) -> dict:
+        """Handshake with the coordinator; leaves degraded mode.  On
+        failure the facade starts degraded (direct-file mode when
+        ``roots`` were given), probing to re-attach in the background.
+        """
+        try:
+            info = self.client.call("hello")
+        except CoordinatorUnreachable:
+            self._enter_degraded()
+            raise
+        self.coordinator_info = info
+        if self.lease_seconds is None:
+            self.lease_seconds = info.get("lease_seconds")
+        if self.degraded:
+            self.degraded = False
+            self._gauge()
+        return info
+
+    def _maybe_reattach(self) -> bool:
+        """In degraded mode, probe the coordinator on a backoff cadence;
+        True when re-attached."""
+        if not self.degraded:
+            return True
+        if time.monotonic() < self._next_probe:
+            return False
+        try:
+            self.attach()
+            return True
+        except FabricError:
+            self._next_probe = time.monotonic() + self._probe.next()
+            return False
+
+    def _rpc(self, op: str, *, token: str | None = None, **args):
+        """RPC with degradation bookkeeping; raises
+        :class:`CoordinatorUnreachable` only when no fallback exists.
+        Definitive remote errors surface as their queue-side types
+        (:class:`JobError` / :class:`QueueSaturated`), so callers treat
+        the facade exactly like a local :class:`JobQueue`."""
+        if not self.degraded or self._maybe_reattach():
+            try:
+                return self.client.call(op, token=token, **args)
+            except CoordinatorUnreachable:
+                self._enter_degraded()
+                raise
+            except RpcRemoteError as exc:
+                if exc.kind == "JobError":
+                    raise JobError(exc.message) from exc
+                if exc.kind == "QueueSaturated":
+                    raise QueueSaturated(exc.message) from exc
+                raise
+        raise CoordinatorUnreachable("degraded: coordinator still away")
+
+    # -- queue surface ---------------------------------------------------
+    def claim(self, worker: str | None = None) -> dict | None:
+        worker = worker or self.name
+        token = new_token()
+        try:
+            rec = self._rpc("claim", token=token, worker=worker,
+                            pid=self.pid_tag)
+        except CoordinatorUnreachable:
+            if not self._direct:
+                return None
+            for shard, q in enumerate(self._direct):
+                rec = q.claim(worker, token=token)
+                if rec is not None:
+                    rec["shard"] = shard
+                    break
+            else:
+                return None
+        if rec is not None:
+            self._shards[rec["id"]] = int(rec.get("shard", 0))
+        return rec
+
+    def _finish(self, op: str, job_id: str, worker: str | None = None,
+                **args):
+        shard = self._shards.get(job_id, 0)
+        worker = worker or self.name
+        token = new_token()
+        try:
+            return self._rpc(op, token=token, id=job_id, shard=shard,
+                             worker=worker, **args)
+        except CoordinatorUnreachable:
+            if not self._direct:
+                raise
+            q = self._direct[shard]
+            if op == "complete":
+                return q.complete(job_id, args.get("result"),
+                                  worker=worker,
+                                  attempt=args.get("attempt"), token=token)
+            if op == "fail":
+                return q.fail(job_id, args.get("error", "unknown"),
+                              worker=worker,
+                              attempt=args.get("attempt"), token=token)
+            return q.requeue(job_id, checkpoint=args.get("checkpoint"),
+                             reason=args.get("reason", "requeue"),
+                             worker=worker, attempt=args.get("attempt"),
+                             token=token)
+
+    def complete(self, job_id: str, result: dict | None = None, *,
+                 worker: str | None = None,
+                 attempt: int | None = None) -> dict:
+        return self._finish("complete", job_id, worker, result=result,
+                            attempt=attempt)
+
+    def fail(self, job_id: str, error: str, *, worker: str | None = None,
+             attempt: int | None = None) -> dict:
+        return self._finish("fail", job_id, worker, error=str(error),
+                            attempt=attempt)
+
+    def requeue(self, job_id: str, *, checkpoint=None,
+                reason: str = "requeue", worker: str | None = None,
+                attempt: int | None = None) -> dict:
+        return self._finish("requeue", job_id, worker,
+                            checkpoint=str(checkpoint) if checkpoint
+                            else None,
+                            reason=reason, attempt=attempt)
+
+    def heartbeat(self, job_id: str, *, worker: str | None = None) -> bool:
+        """Renew the lease.  True also when the coordinator is briefly
+        unreachable with no fallback: losing connectivity must not make
+        the worker abandon a job the reaper may never requeue —
+        exactly-once is enforced by the ownership guard at completion,
+        not by the worker's guess."""
+        shard = self._shards.get(job_id, 0)
+        worker = worker or self.name
+        try:
+            return bool(self._rpc("heartbeat", id=job_id, shard=shard,
+                                  worker=worker))
+        except CoordinatorUnreachable:
+            if not self._direct:
+                return True
+            return self._direct[shard].heartbeat(job_id, worker=worker)
+
+    def preempt_requested(self, job_id: str) -> bool:
+        shard = self._shards.get(job_id, 0)
+        try:
+            return bool(self._rpc("preempt_requested", id=job_id,
+                                  shard=shard))
+        except CoordinatorUnreachable:
+            if not self._direct:
+                return False
+            return self._direct[shard].preempt_requested(job_id)
+
+    def drained(self) -> bool:
+        try:
+            return bool(self._rpc("drained"))
+        except CoordinatorUnreachable:
+            if not self._direct:
+                return False  # unknowable: keep polling, don't exit
+            return all(q.drained() for q in self._direct)
+
+    def counts(self) -> dict:
+        try:
+            return self._rpc("counts")
+        except CoordinatorUnreachable:
+            if not self._direct:
+                raise
+            totals: dict[str, int] = {}
+            for q in self._direct:
+                for state, n in q.counts().items():
+                    totals[state] = totals.get(state, 0) + n
+            return totals
+
+    def reap(self) -> list:
+        """Trigger a reaper pass (coordinator-side when attached)."""
+        try:
+            return self._rpc("reap") or []
+        except CoordinatorUnreachable:
+            out = []
+            for shard, q in enumerate(self._direct):
+                out += [[shard, jid] for jid in q.reap()]
+            return out
+
+    def submit(self, config: dict, *, cache_key: str, priority: int = 0,
+               fault_steps=(), cost: dict | None = None,
+               shard: int = 0) -> dict:
+        """Remote submit (used by CLIs pointed at a coordinator)."""
+        rec = self._rpc("submit", token=new_token(), shard=shard,
+                        config=config, cache_key=cache_key,
+                        priority=priority,
+                        fault_steps=list(fault_steps), cost=cost)
+        self._shards[rec["id"]] = shard
+        return rec
+
+    def close(self) -> None:
+        self.client.close()

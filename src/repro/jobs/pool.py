@@ -17,13 +17,26 @@ from .worker import worker_main
 
 
 class WorkerPool:
-    """N worker processes draining one campaign queue."""
+    """N worker processes draining one campaign queue.
 
-    def __init__(self, root, n_workers: int, *, ctx: str = "spawn"):
+    ``fabric`` (optional ``host:port``) attaches every worker to a
+    :class:`repro.jobs.fabric.Coordinator` instead of the direct file
+    queue; ``lease_seconds`` sets the running-job lease the workers
+    heartbeat against (both forwarded to
+    :func:`repro.jobs.worker.worker_main`).
+    """
+
+    def __init__(self, root, n_workers: int, *, ctx: str = "spawn",
+                 fabric: str | None = None,
+                 lease_seconds: float | None = None,
+                 checkpoint_every: int = 0):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.root = pathlib.Path(root)
         self.n_workers = n_workers
+        self.fabric = fabric
+        self.lease_seconds = lease_seconds
+        self.checkpoint_every = checkpoint_every
         self._ctx = mp.get_context(ctx)
         self.processes: list[mp.Process] = []
 
@@ -33,7 +46,9 @@ class WorkerPool:
             return self
         for i in range(self.n_workers):
             p = self._ctx.Process(
-                target=worker_main, args=(str(self.root), f"w{i}"),
+                target=worker_main,
+                args=(str(self.root), f"w{i}", self.fabric,
+                      self.lease_seconds, self.checkpoint_every),
                 name=f"repro-jobs-w{i}",
             )
             p.start()

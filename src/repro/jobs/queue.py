@@ -19,6 +19,21 @@ Job selection inside :meth:`claim` delegates to
 shortest-predicted-job-first) and defers any pending job whose
 ``cache_key`` matches a run already in flight — the duplicate waits and
 is then served from the result cache instead of recomputing.
+
+The queue is also the durability substrate of the multi-host fabric
+(:mod:`repro.jobs.fabric`): every mutating op can carry an
+*idempotency token* that replay materialises onto the record
+(``claim_token`` / ``finish_token`` / ``requeue_token``), so a retried
+RPC whose first attempt already committed is recognised and answered
+from the journal instead of applied twice; ``claim`` accepts a caller
+``pid`` tag (remote workers record ``"host!pid"``, which :meth:`reap`
+never probes locally — their liveness signal is the heartbeat-renewed
+lease alone); and :meth:`heartbeat` appends a lease renewal so a lease
+survives exactly as long as its worker keeps proving it is alive.
+Completion-side ops accept ``worker=``/``attempt=`` guards: a worker
+whose job was reaped and reclaimed elsewhere gets :class:`JobError`
+instead of overwriting the new owner's run — the exactly-once argument
+in DESIGN §12 rests on these guards plus the token replay.
 """
 
 from __future__ import annotations
@@ -36,6 +51,11 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 
 QUEUE_FILE = "queue.jsonl"
 LOCK_FILE = "queue.lock"
+
+#: default running-job lease for worker entry points (``run-workers``,
+#: the fabric coordinator): a job whose worker has not heartbeat within
+#: this window is considered abandoned and requeued by the reaper
+DEFAULT_LEASE_SECONDS = 60.0
 
 #: job lifecycle states
 PENDING, RUNNING, DONE, FAILED, CANCELLED = (
@@ -75,6 +95,11 @@ def _new_record(job_id: str, config: dict, *, cache_key: str, priority: int,
         "checkpoint": None,
         "result": None,
         "error": None,
+        "requeues": [],
+        "submit_token": None,
+        "claim_token": None,
+        "finish_token": None,
+        "requeue_token": None,
     }
 
 
@@ -154,22 +179,33 @@ class JobQueue:
                 continue  # op for an unknown job: ignore
             if kind == "claim":
                 rec.update(state=RUNNING, worker=op["worker"], pid=op["pid"],
-                           lease=op["wall"], attempts=rec["attempts"] + 1)
+                           lease=op["wall"], attempts=rec["attempts"] + 1,
+                           claim_token=op.get("token"))
                 if rec["claimed"] is None:
                     rec["claimed"] = op["wall"]
             elif kind == "done":
                 rec.update(state=DONE, result=op.get("result"),
-                           finished=op["wall"], preempt_requested=False)
+                           finished=op["wall"], preempt_requested=False,
+                           finish_token=op.get("token"))
             elif kind == "failed":
                 rec.update(state=FAILED, error=op.get("error"),
-                           finished=op["wall"], preempt_requested=False)
+                           finished=op["wall"], preempt_requested=False,
+                           finish_token=op.get("token"))
             elif kind == "requeue":
                 rec.update(state=PENDING, worker=None, pid=None, lease=None,
-                           preempt_requested=False)
+                           preempt_requested=False,
+                           requeue_token=op.get("token"))
                 if op.get("checkpoint"):
                     rec["checkpoint"] = op["checkpoint"]
                 if op.get("reason") == "preempt":
                     rec["preemptions"] += 1
+                rec.setdefault("requeues", []).append(
+                    {"reason": op.get("reason", "requeue"),
+                     "wall": op["wall"]}
+                )
+            elif kind == "heartbeat":
+                if rec["state"] == RUNNING:
+                    rec["lease"] = op["wall"]
             elif kind == "cancel":
                 rec.update(state=CANCELLED, finished=op["wall"])
             elif kind == "preempt-request":
@@ -203,15 +239,22 @@ class JobQueue:
     # -- transitions ------------------------------------------------------
     def submit(self, config: dict, *, cache_key: str, priority: int = 0,
                fault_steps=(), cost: dict | None = None,
-               name: str | None = None) -> dict:
+               name: str | None = None, token: str | None = None) -> dict:
         """Append one pending job; returns its record.
 
         Raises :class:`QueueSaturated` when the pending backlog is at
         ``max_pending`` — the campaign driver's backpressure signal.
+        A retried submit carrying the same idempotency ``token`` as a
+        committed one returns the existing record instead of enqueuing
+        a duplicate.
         """
         with self._locked():
             ops = self._ops()
             jobs = self._replay(ops)
+            if token is not None:
+                for r in jobs.values():
+                    if r.get("submit_token") == token:
+                        return r  # retry of an applied submit
             if self.max_pending is not None:
                 backlog = sum(
                     1 for r in jobs.values() if r["state"] == PENDING
@@ -227,20 +270,33 @@ class JobQueue:
             rec = _new_record(job_id, config, cache_key=cache_key,
                               priority=priority, fault_steps=fault_steps,
                               cost=cost, seq=seq)
+            rec["submit_token"] = token
             self._append({"op": "submit", "job": rec})
             return rec
 
-    def claim(self, worker: str) -> dict | None:
+    def claim(self, worker: str, *, pid=None, token: str | None = None
+              ) -> dict | None:
         """Atomically claim the best claimable pending job, or None.
 
         Selection follows :func:`repro.jobs.scheduler.claim_order`;
         pending jobs whose ``cache_key`` matches a job already running
         are deferred (in-flight dedup — they will hit the result cache).
+
+        ``pid`` tags the claim for the reaper: the default is this
+        process's pid; the fabric coordinator records the remote
+        worker's ``"host!pid"`` string, which is never probed locally.
+        A retried claim carrying the same idempotency ``token`` as an
+        already-committed one returns that claim's record instead of
+        claiming a second job.
         """
         from .scheduler import claim_order  # no cycle: scheduler is pure
 
         with self._locked():
             jobs = self._replay(self._ops())
+            if token is not None:
+                for r in jobs.values():
+                    if r.get("claim_token") == token:
+                        return r  # retry of an applied claim
             in_flight = {
                 r["cache_key"] for r in jobs.values() if r["state"] == RUNNING
             }
@@ -252,44 +308,73 @@ class JobQueue:
                 return None
             rec = candidates[0]
             wall = time.time()
+            pid = os.getpid() if pid is None else pid
             self._append({"op": "claim", "id": rec["id"], "worker": worker,
-                          "pid": os.getpid(), "wall": wall})
-            rec.update(state=RUNNING, worker=worker, pid=os.getpid(),
-                       lease=wall, attempts=rec["attempts"] + 1)
+                          "pid": pid, "wall": wall, "token": token})
+            rec.update(state=RUNNING, worker=worker, pid=pid,
+                       lease=wall, attempts=rec["attempts"] + 1,
+                       claim_token=token)
             if rec["claimed"] is None:
                 rec["claimed"] = wall
             return rec
 
-    def _transition(self, job_id: str, from_states, op: dict) -> dict:
+    def _transition(self, job_id: str, from_states, op: dict, *,
+                    worker: str | None = None, attempt: int | None = None,
+                    token_field: str | None = None) -> dict:
+        token = op.get("token")
         with self._locked():
             jobs = self._replay(self._ops())
             rec = jobs.get(job_id)
             if rec is None:
                 raise JobError(f"unknown job {job_id!r}")
+            if (token is not None and token_field
+                    and rec.get(token_field) == token):
+                return rec  # retry of an op that already committed
             if rec["state"] not in from_states:
                 raise JobError(
                     f"job {job_id} is {rec['state']}, expected one of "
                     f"{sorted(from_states)}"
                 )
+            if worker is not None and rec["worker"] != worker:
+                raise JobError(
+                    f"job {job_id} is owned by {rec['worker']!r}, not "
+                    f"{worker!r} — lease lost and job reclaimed"
+                )
+            if attempt is not None and rec["attempts"] != attempt:
+                raise JobError(
+                    f"job {job_id} is on attempt {rec['attempts']}, op "
+                    f"targets stale attempt {attempt}"
+                )
             self._append(op)
             return self._replay(self._ops())[job_id]
 
-    def complete(self, job_id: str, result: dict | None = None) -> dict:
-        """running → done (with the worker's result payload)."""
+    def complete(self, job_id: str, result: dict | None = None, *,
+                 worker: str | None = None, attempt: int | None = None,
+                 token: str | None = None) -> dict:
+        """running → done (with the worker's result payload).
+
+        Optional ``worker``/``attempt`` assert ownership: a worker whose
+        lease expired and whose job was reclaimed gets :class:`JobError`
+        instead of completing someone else's attempt.  A retried op with
+        the same ``token`` as the committed one is a no-op success.
+        """
         return self._transition(job_id, {RUNNING}, {
             "op": "done", "id": job_id, "result": result,
-            "wall": time.time(),
-        })
+            "wall": time.time(), "token": token,
+        }, worker=worker, attempt=attempt, token_field="finish_token")
 
-    def fail(self, job_id: str, error: str) -> dict:
+    def fail(self, job_id: str, error: str, *, worker: str | None = None,
+             attempt: int | None = None, token: str | None = None) -> dict:
         """running → failed (terminal; the error string is recorded)."""
         return self._transition(job_id, {RUNNING}, {
             "op": "failed", "id": job_id, "error": str(error),
-            "wall": time.time(),
-        })
+            "wall": time.time(), "token": token,
+        }, worker=worker, attempt=attempt, token_field="finish_token")
 
     def requeue(self, job_id: str, *, checkpoint=None,
-                reason: str = "requeue") -> dict:
+                reason: str = "requeue", worker: str | None = None,
+                attempt: int | None = None,
+                token: str | None = None) -> dict:
         """running → pending (preemption or reaped dead worker).
 
         ``checkpoint`` records the directory the next claimant resumes
@@ -298,8 +383,23 @@ class JobQueue:
         return self._transition(job_id, {RUNNING}, {
             "op": "requeue", "id": job_id,
             "checkpoint": str(checkpoint) if checkpoint else None,
-            "reason": reason, "wall": time.time(),
-        })
+            "reason": reason, "wall": time.time(), "token": token,
+        }, worker=worker, attempt=attempt, token_field="requeue_token")
+
+    def heartbeat(self, job_id: str, *, worker: str | None = None) -> bool:
+        """Renew the running-job lease; returns False when the job is no
+        longer this worker's to renew (reaped + reclaimed, finished, or
+        unknown) — the worker should stop executing it."""
+        with self._locked():
+            jobs = self._replay(self._ops())
+            rec = jobs.get(job_id)
+            if rec is None or rec["state"] != RUNNING:
+                return False
+            if worker is not None and rec["worker"] != worker:
+                return False
+            self._append({"op": "heartbeat", "id": job_id,
+                          "wall": time.time()})
+            return True
 
     def cancel(self, job_id: str) -> dict:
         """pending → cancelled (running jobs must be preempted instead)."""
@@ -325,7 +425,13 @@ class JobQueue:
     # -- recovery ---------------------------------------------------------
     def reap(self) -> list[str]:
         """Requeue running jobs whose worker died (or whose lease
-        expired, when ``lease_seconds`` is set).  Returns requeued ids."""
+        expired, when ``lease_seconds`` is set).  Returns requeued ids.
+
+        Local claims (integer pid) are probed with ``kill(pid, 0)``;
+        remote claims (the fabric's ``"host!pid"`` tags) cannot be —
+        their only liveness signal is the heartbeat-renewed lease, so
+        they are requeued exactly when the lease expires.
+        """
         requeued = []
         with self._locked():
             jobs = self._replay(self._ops())
@@ -333,10 +439,12 @@ class JobQueue:
             for rec in jobs.values():
                 if rec["state"] != RUNNING:
                     continue
-                stale = not _pid_alive(rec["pid"])
-                if (not stale and self.lease_seconds is not None
-                        and rec["lease"] is not None):
-                    stale = now - rec["lease"] > self.lease_seconds
+                lease_expired = (
+                    self.lease_seconds is not None
+                    and rec["lease"] is not None
+                    and now - rec["lease"] > self.lease_seconds
+                )
+                stale = lease_expired or _local_pid_dead(rec["pid"])
                 if stale:
                     self._append({
                         "op": "requeue", "id": rec["id"],
@@ -347,11 +455,15 @@ class JobQueue:
         return requeued
 
 
-def _pid_alive(pid) -> bool:
+def _local_pid_dead(pid) -> bool:
+    """True when ``pid`` names a local process that is provably gone.
+    Remote pid tags (any non-integer) are never probed — False."""
     if pid is None:
-        return False
+        return True
+    if isinstance(pid, str) and not pid.isdigit():
+        return False  # remote worker: the lease is the liveness signal
     try:
         os.kill(int(pid), 0)
     except (OSError, ValueError):
-        return False
-    return True
+        return True
+    return False

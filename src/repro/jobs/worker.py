@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import hashlib
 import pathlib
+import threading
 import time
 import traceback
 
@@ -33,8 +34,9 @@ import numpy as np
 from repro.io import RunConfig, find_latest_valid, restore_wave_solver
 from repro.resilience import FaultInjector, RetryPolicy, SupervisedRun
 from repro.telemetry import TelemetrySink
+from .backoff import Backoff
 from .cache import ResultCache
-from .queue import JobQueue
+from .queue import JobError, JobQueue
 
 RUNS_DIR = "runs"
 CHECKPOINTS_DIR = "checkpoints"
@@ -69,7 +71,8 @@ def _build_or_resume(config: RunConfig, checkpoint_dir: pathlib.Path):
 
 def execute_job(root, record: dict, queue: JobQueue, *,
                 checkpoint_every: int = 0, metrics_every: int = 5,
-                preempt_poll: int = 1) -> dict:
+                preempt_poll: int = 1,
+                lease_lost: threading.Event | None = None) -> dict:
     """Run one claimed job record to completion, preemption, or failure.
 
     Returns the worker-side outcome::
@@ -110,6 +113,10 @@ def execute_job(root, record: dict, queue: JobQueue, *,
     polls = {"n": 0}
 
     def preempt_check() -> bool:
+        # a lost lease means the job is (or is about to be) someone
+        # else's: checkpoint and yield exactly like a preemption
+        if lease_lost is not None and lease_lost.is_set():
+            return True
         polls["n"] += 1
         if preempt_poll > 1 and polls["n"] % preempt_poll:
             return False
@@ -161,54 +168,163 @@ def execute_job(root, record: dict, queue: JobQueue, *,
     return {"outcome": "done", "result": result}
 
 
+def _heartbeat_interval(queue) -> float | None:
+    """Derive the heartbeat cadence from the queue's lease: renew at a
+    third of the lease so two beats can be lost before expiry."""
+    lease = getattr(queue, "lease_seconds", None)
+    if lease is None:
+        info = getattr(queue, "coordinator_info", None)
+        lease = (info or {}).get("lease_seconds")
+    return max(0.05, float(lease) / 3.0) if lease else None
+
+
 def worker_loop(root, name: str = "worker", *, poll: float = 0.05,
-                idle_timeout: float = 120.0, **execute_kwargs) -> dict:
+                idle_timeout: float = 120.0, queue=None,
+                heartbeat_interval: float | None = None,
+                reap_interval: float | None = None,
+                **execute_kwargs) -> dict:
     """Claim-and-run until the queue drains (or idles out).
 
-    The loop reaps dead workers' jobs whenever it finds nothing to
-    claim, so a campaign self-heals: a ``running`` entry left by a
-    killed process is requeued and — thanks to its checkpoint directory
-    — resumed rather than restarted.
+    ``queue`` defaults to the direct file-backed :class:`JobQueue` on
+    ``root``; pass a :class:`repro.jobs.fabric.FabricQueue` to claim
+    through a coordinator instead (``root`` stays the shared directory
+    that holds runs/checkpoints/cache).
+
+    Idle polling backs off exponentially with full jitter
+    (:class:`repro.jobs.Backoff`, base ``poll``, capped at 2 s) so a
+    fleet of idle workers does not hammer a shared filesystem or
+    coordinator in lockstep; the backoff re-arms on every successful
+    claim.  The loop reaps dead workers' jobs on an ``reap_interval``
+    cadence (and whenever idle), so a campaign self-heals: a
+    ``running`` entry left by a killed process is requeued and — thanks
+    to its checkpoint directory — resumed rather than restarted.
+
+    While executing a job the worker renews its lease from a heartbeat
+    thread (cadence: a third of the queue's lease).  A heartbeat
+    answered ``False`` means the lease was reaped and the job reclaimed
+    elsewhere — the run checkpoints and yields at the next step, and
+    the stale finish op is discarded by the queue's ownership guard.
     """
     root = pathlib.Path(root)
-    queue = JobQueue(root)
+    if queue is None:
+        queue = JobQueue(root)
+    if heartbeat_interval is None:
+        heartbeat_interval = _heartbeat_interval(queue)
+    if reap_interval is None:
+        lease = getattr(queue, "lease_seconds", None)
+        reap_interval = max(1.0, lease / 4.0) if lease else 5.0
     stats = {"worker": name, "claimed": 0, "done": 0, "preempted": 0,
-             "failed": 0, "cache_hits": 0}
+             "failed": 0, "cache_hits": 0, "lost_leases": 0}
     idle_since = None
+    idle_backoff = Backoff(base=poll, cap=max(poll, 2.0))
+    last_reap = time.monotonic()
     while True:
         record = queue.claim(name)
+        now = time.monotonic()
         if record is None:
             if queue.drained():
                 break
-            queue.reap()
+            if now - last_reap >= reap_interval:
+                queue.reap()
+                last_reap = now
             if idle_since is None:
-                idle_since = time.monotonic()
-            elif time.monotonic() - idle_since > idle_timeout:
+                idle_since = now
+            elif now - idle_since > idle_timeout:
                 break
-            time.sleep(poll)
+            idle_backoff.sleep()
             continue
         idle_since = None
+        idle_backoff.reset()
         stats["claimed"] += 1
+        if now - last_reap >= reap_interval:
+            queue.reap()
+            last_reap = now
+
+        lease_lost = threading.Event()
+        hb_stop = threading.Event()
+        hb_thread = None
+        if heartbeat_interval and hasattr(queue, "heartbeat"):
+            hb_thread = threading.Thread(
+                target=_heartbeat_loop,
+                args=(queue, record["id"], name, heartbeat_interval,
+                      hb_stop, lease_lost),
+                daemon=True, name=f"heartbeat-{record['id']}",
+            )
+            hb_thread.start()
+
+        guards = {"worker": name, "attempt": record["attempts"]}
         try:
-            outcome = execute_job(root, record, queue, **execute_kwargs)
+            outcome = execute_job(root, record, queue,
+                                  lease_lost=lease_lost, **execute_kwargs)
         except Exception:
-            queue.fail(record["id"], traceback.format_exc(limit=8))
-            stats["failed"] += 1
+            try:
+                queue.fail(record["id"], traceback.format_exc(limit=8),
+                           **guards)
+                stats["failed"] += 1
+            except JobError:
+                stats["lost_leases"] += 1  # reclaimed: not ours to fail
             continue
+        finally:
+            hb_stop.set()
+            if hb_thread is not None:
+                hb_thread.join(2.0)
         if outcome["outcome"] == "preempted":
-            queue.requeue(record["id"], checkpoint=outcome["checkpoint"],
-                          reason="preempt")
-            stats["preempted"] += 1
+            try:
+                queue.requeue(record["id"],
+                              checkpoint=outcome["checkpoint"],
+                              reason="preempt", **guards)
+                stats["preempted"] += 1
+            except JobError:
+                stats["lost_leases"] += 1  # reaper already requeued it
         else:
             result = outcome["result"]
-            queue.complete(record["id"], result)
-            stats["done"] += 1
-            if result.get("cached"):
-                stats["cache_hits"] += 1
+            try:
+                queue.complete(record["id"], result, **guards)
+                stats["done"] += 1
+                if result.get("cached"):
+                    stats["cache_hits"] += 1
+            except JobError:
+                # lease lost mid-run and the job was reclaimed — the
+                # new owner's completion is the one that counts (our
+                # result already landed in the idempotent ResultCache)
+                stats["lost_leases"] += 1
     return stats
 
 
-def worker_main(root: str, name: str) -> None:
+def _heartbeat_loop(queue, job_id: str, worker: str, interval: float,
+                    stop: threading.Event,
+                    lease_lost: threading.Event) -> None:
+    while not stop.wait(interval):
+        try:
+            alive = queue.heartbeat(job_id, worker=worker)
+        except Exception:
+            continue  # transient: the lease outlives missed beats
+        if not alive:
+            lease_lost.set()
+            return
+
+
+def worker_main(root: str, name: str, fabric: str | None = None,
+                lease_seconds: float | None = None,
+                checkpoint_every: int = 0) -> None:
     """Spawn-safe process entry point (used by :class:`WorkerPool` and
-    ``python -m repro.jobs run-workers``)."""
-    worker_loop(root, name)
+    ``python -m repro.jobs run-workers``).
+
+    ``fabric`` is an optional ``host:port`` coordinator address; the
+    worker then claims over RPC (degrading to the direct file queue on
+    ``root`` when the coordinator is unreachable).
+    """
+    queue = None
+    if fabric:
+        from .fabric import FabricQueue, parse_address
+
+        queue = FabricQueue(parse_address(fabric), roots=[root], name=name,
+                            lease_seconds=lease_seconds)
+        try:
+            queue.attach()
+        except Exception:
+            pass  # degraded from the start; re-attach probes continue
+    elif lease_seconds is not None:
+        queue = JobQueue(root, lease_seconds=lease_seconds)
+    worker_loop(root, name, queue=queue,
+                checkpoint_every=checkpoint_every)

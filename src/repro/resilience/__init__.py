@@ -11,7 +11,7 @@ newest valid one, and logs every recovery decision to a JSONL
 provide the seeded fault schedules the CI smoke matrix replays.
 """
 
-from .faults import FaultInjector, FaultyComm
+from .faults import ChaosProxy, FaultInjector, FaultyComm
 from .health import HealthMonitor, HealthReport, det_gt_drift, state_max_abs
 from .journal import RunJournal, read_journal, summarize
 from .supervisor import (
@@ -25,6 +25,7 @@ from .supervisor import (
 __all__ = [
     "CHECKPOINT_FMT",
     "CHECKPOINT_GLOB",
+    "ChaosProxy",
     "EvolutionAborted",
     "FaultInjector",
     "FaultyComm",

@@ -1,6 +1,7 @@
-"""Deterministic fault injection: state corruption and a faulty comm.
+"""Deterministic fault injection: state corruption, a faulty comm, and
+a network chaos proxy.
 
-Two injectors, both driven by seeded generators so every failure
+Three injectors, all driven by seeded generators so every failure
 schedule replays exactly:
 
 * :class:`FaultInjector` corrupts *solver state* — NaN bursts at chosen
@@ -9,6 +10,11 @@ schedule replays exactly:
   *messages*: drops, NaN-corruption, delayed delivery, and rank death.
   It subclasses :class:`repro.parallel.SimComm`, so every solver and
   halo-exchange path accepts it unchanged.
+* :class:`ChaosProxy` sits between fabric clients and the campaign
+  coordinator (:mod:`repro.jobs.fabric`) as a frame-aware TCP proxy
+  that drops, delays, and duplicates whole RPC messages and partitions
+  the link — the network-level sibling of :class:`FaultyComm`, and what
+  the CI chaos matrix drives.
 
 Every injected fault is appended to the injector's ``log`` (and the run
 journal, when one is attached), which is what the deterministic-replay
@@ -17,6 +23,11 @@ tests compare.
 
 from __future__ import annotations
 
+import math
+import socket
+import struct
+import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -199,3 +210,237 @@ class FaultyComm(SimComm):
         """Clear delayed messages along with the base queues."""
         super().drain()
         self._delayed.clear()
+
+
+# -- network chaos ------------------------------------------------------
+
+_FRAME_LEN = struct.Struct(">I")
+
+
+def _read_frame(sock: socket.socket, stop: threading.Event) -> bytes | None:
+    """One whole length-prefixed frame (header + payload bytes), or None
+    on EOF / shutdown.  The fabric protocol is re-implemented here in
+    miniature so :mod:`repro.resilience` never imports
+    :mod:`repro.jobs` (which imports this module)."""
+    buf = b""
+    want = _FRAME_LEN.size
+    length = None
+    while len(buf) < want:
+        if stop.is_set():
+            return None
+        try:
+            chunk = sock.recv(want - len(buf))
+        except socket.timeout:
+            continue
+        except OSError:
+            return None
+        if not chunk:
+            return None
+        buf += chunk
+        if length is None and len(buf) == _FRAME_LEN.size:
+            (length,) = _FRAME_LEN.unpack(buf)
+            want += length
+    return buf
+
+
+class ChaosProxy:
+    """Deterministic chaos between fabric workers and their coordinator.
+
+    A frame-aware TCP proxy: it forwards whole length-prefixed RPC
+    messages and injects faults *per message*, each direction of each
+    connection drawing from its own generator seeded by
+    ``(seed, connection index, direction)`` — so a fixed (seed, traffic
+    pattern) yields an identical fault schedule, exactly like
+    :class:`FaultyComm`:
+
+    * ``drop_prob`` — the message vanishes (the peer times out and the
+      RPC layer retries under its idempotency token);
+    * ``dup_prob`` — the message is delivered twice back-to-back (a
+      retried claim/complete must be applied exactly once);
+    * ``delay_prob`` — delivery is withheld ``delay_seconds`` (deadline
+      and stale-response handling get exercised);
+    * :meth:`partition` — the link goes away entirely: live connections
+      are severed and new ones refused until :meth:`heal` (or the
+      ``seconds`` deadline) — workers degrade to direct-file mode and
+      re-attach afterwards.
+
+    Every injected fault is recorded in ``log``.
+    """
+
+    def __init__(self, upstream, *, host: str = "127.0.0.1", port: int = 0,
+                 seed: int = 0, drop_prob: float = 0.0,
+                 dup_prob: float = 0.0, delay_prob: float = 0.0,
+                 delay_seconds: float = 0.05):
+        self.upstream = (upstream[0], int(upstream[1]))
+        self.seed = int(seed)
+        self.drop_prob = float(drop_prob)
+        self.dup_prob = float(dup_prob)
+        self.delay_prob = float(delay_prob)
+        self.delay_seconds = float(delay_seconds)
+        #: structured record of every injected fault, in injection order
+        self.log: list[dict] = []
+        self._host, self._port = host, int(port)
+        self._listener: socket.socket | None = None
+        self._stop = threading.Event()
+        self._mutex = threading.Lock()
+        self._pairs: set[tuple[socket.socket, socket.socket]] = set()
+        self._threads: list[threading.Thread] = []
+        self._conn_counter = 0
+        self._partition_until = 0.0
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) workers should connect to instead of the
+        coordinator."""
+        if self._listener is None:
+            raise RuntimeError("proxy is not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> "ChaosProxy":
+        if self._listener is not None:
+            return self
+        self._stop.clear()
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self._host, self._port))
+        sock.listen(32)
+        sock.settimeout(0.2)
+        self._listener = sock
+        t = threading.Thread(target=self._accept_loop, daemon=True,
+                             name="chaos-accept")
+        t.start()
+        self._threads.append(t)
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            finally:
+                self._listener = None
+        self._sever_all()
+        for t in self._threads:
+            t.join(5.0)
+        self._threads = []
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- partition control ---------------------------------------------
+    def partitioned(self) -> bool:
+        return time.monotonic() < self._partition_until
+
+    def partition(self, seconds: float | None = None) -> None:
+        """Sever the link: existing connections die, new ones are
+        refused, for ``seconds`` (or until :meth:`heal`)."""
+        self._partition_until = (math.inf if seconds is None
+                                 else time.monotonic() + float(seconds))
+        self.log.append({"fault": "partition",
+                         "seconds": seconds})
+        self._sever_all()
+
+    def heal(self) -> None:
+        """End a partition immediately."""
+        self._partition_until = 0.0
+        self.log.append({"fault": "heal"})
+
+    def _sever_all(self) -> None:
+        with self._mutex:
+            pairs, self._pairs = list(self._pairs), set()
+        for a, b in pairs:
+            for s in (a, b):
+                try:
+                    s.close()
+                except OSError:
+                    pass
+
+    # -- data path ------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            listener = self._listener
+            if listener is None:
+                return
+            try:
+                client, _ = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            if self.partitioned():
+                try:
+                    client.close()  # the network is gone: instant EOF
+                except OSError:
+                    pass
+                continue
+            try:
+                server = socket.create_connection(self.upstream,
+                                                  timeout=2.0)
+            except OSError:
+                try:
+                    client.close()
+                except OSError:
+                    pass
+                continue
+            for s in (client, server):
+                s.settimeout(0.2)
+                s.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._mutex:
+                conn_id = self._conn_counter
+                self._conn_counter += 1
+                self._pairs.add((client, server))
+            for direction, (src, dst) in enumerate(
+                    ((client, server), (server, client))):
+                t = threading.Thread(
+                    target=self._pump, daemon=True,
+                    args=(src, dst, conn_id, direction),
+                    name=f"chaos-pump-{conn_id}-{direction}",
+                )
+                t.start()
+                self._threads.append(t)
+
+    def _pump(self, src: socket.socket, dst: socket.socket,
+              conn_id: int, direction: int) -> None:
+        rng = np.random.default_rng((self.seed, conn_id, direction))
+        label = "c2s" if direction == 0 else "s2c"
+        n = 0
+        while not self._stop.is_set():
+            frame = _read_frame(src, self._stop)
+            if frame is None or self.partitioned():
+                break
+            roll = float(rng.random())
+            event = None
+            try:
+                if roll < self.drop_prob:
+                    event = {"fault": "drop", "dir": label,
+                             "conn": conn_id, "msg": n}
+                elif roll < self.drop_prob + self.dup_prob:
+                    dst.sendall(frame + frame)
+                    event = {"fault": "duplicate", "dir": label,
+                             "conn": conn_id, "msg": n}
+                elif roll < (self.drop_prob + self.dup_prob
+                             + self.delay_prob):
+                    time.sleep(self.delay_seconds)
+                    dst.sendall(frame)
+                    event = {"fault": "delay", "dir": label,
+                             "conn": conn_id, "msg": n,
+                             "seconds": self.delay_seconds}
+                else:
+                    dst.sendall(frame)
+            except OSError:
+                break
+            if event is not None:
+                self.log.append(event)
+            n += 1
+        for s in (src, dst):
+            try:
+                s.close()
+            except OSError:
+                pass
+        with self._mutex:
+            self._pairs = {p for p in self._pairs
+                           if src not in p and dst not in p}

@@ -182,6 +182,55 @@ class TestCrashSafety:
         time.sleep(0.1)
         assert q.reap() == [rec["id"]]  # pid alive but lease expired
 
+    def test_crash_between_claim_append_and_fsync(self, tmp_path):
+        # the narrowest crash window: the claim line is written and
+        # flushed but the claimer dies before fsync returns.  Replay
+        # must yield exactly one owner (the dead claimer) and the job
+        # must be recoverable — never lost, never double-owned.
+        q = JobQueue(tmp_path)
+        rec = q.submit({"name": "a"}, cache_key="k0")
+
+        ctx = mp.get_context("fork")
+        p = ctx.Process(target=_claim_then_die_before_fsync,
+                        args=(str(tmp_path),))
+        p.start()
+        p.join(30.0)
+        assert p.exitcode == 7  # died inside the fsync
+
+        jobs = JobQueue(tmp_path).jobs()  # replay does not raise
+        entry = jobs[rec["id"]]
+        # the append made it into the shared file view: exactly one
+        # owner, and it is the dead claimer
+        assert entry["state"] == RUNNING
+        assert entry["worker"] == "victim"
+        claim_ops = [op for op in JobQueue(tmp_path)._ops()
+                     if op.get("op") == "claim"]
+        assert len(claim_ops) == 1
+
+        # recovery: the dead pid is reaped, then re-claimed exactly once
+        assert q.reap() == [rec["id"]]
+        back = q.claim("w1")
+        assert back["id"] == rec["id"]
+        assert back["attempts"] == 2
+        assert q.claim("w2") is None  # still exactly one owner
+
+
+def _claim_then_die_before_fsync(root):
+    """Claim, but simulate a power cut between the journal append
+    (write + flush) and fsync visibility."""
+    import repro.jobs.queue as qmod
+
+    class DyingOs:
+        def __getattr__(self, name):
+            return getattr(os, name)
+
+        @staticmethod
+        def fsync(fd):
+            os._exit(7)
+
+    qmod.os = DyingOs()
+    JobQueue(root).claim("victim")  # never returns
+
 
 def _contender(root, out_path):
     """Claim-and-complete loop used by the contention test processes."""

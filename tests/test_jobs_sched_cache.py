@@ -191,6 +191,58 @@ class TestResultCache:
         assert len(cache) == 0
 
 
+def _racing_putter(root, key, start_path, out_path):
+    """Spin until the shared start flag appears, then put under ``key``
+    — every racer writes its own pid as the payload."""
+    import json as _json
+    import os as _os
+    import pathlib
+    import time as _time
+
+    cache = ResultCache(root)
+    deadline = _time.monotonic() + 30.0
+    while not pathlib.Path(start_path).exists():
+        if _time.monotonic() > deadline:
+            _os._exit(2)
+        _time.sleep(0.001)
+    kept = cache.put(key, {"winner": _os.getpid()})
+    pathlib.Path(out_path).write_text(_json.dumps(kept))
+
+
+class TestCrossProcessDedup:
+    def test_concurrent_puts_one_winner_no_debris(self, tmp_path):
+        # two workers finish the identical spec at the same instant on a
+        # shared filesystem: first write wins, everyone converges on the
+        # same entry, and no temp debris survives the race
+        import multiprocessing as mp
+
+        key = "c" * 64
+        root = tmp_path / "cache"
+        root.mkdir()
+        start = tmp_path / "go"
+        outs = [tmp_path / f"kept-{i}.json" for i in range(4)]
+        ctx = mp.get_context("fork")
+        procs = [ctx.Process(target=_racing_putter,
+                             args=(str(root), key, str(start), str(out)))
+                 for out in outs]
+        for p in procs:
+            p.start()
+        start.touch()  # the barrier drops: all four put at once
+        for p in procs:
+            p.join(60.0)
+        assert all(p.exitcode == 0 for p in procs)
+
+        cache = ResultCache(root)
+        winner = cache.get(key)
+        assert winner is not None
+        # every process converged on the single stored entry
+        kept = [json.loads(out.read_text()) for out in outs]
+        assert all(k == winner for k in kept)
+        # the winning pid is one of the racers, stored exactly once
+        assert len(cache) == 1
+        assert not list(root.glob(".tmp-*"))  # losers cleaned up
+
+
 class TestInFlightDedup:
     def test_duplicate_deferred_until_twin_finishes(self, tmp_path):
         q = JobQueue(tmp_path)
