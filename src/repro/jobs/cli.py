@@ -4,11 +4,14 @@ Subcommands::
 
     submit      <campaign> -p file.json [...] [--sweep FIELD V1,V2,..]
     run-workers <campaign> -n N [--fabric HOST:PORT] [--lease-seconds S]
-    coordinator <campaign> [--port P] [--shard DIR ...]
+    coordinator <campaign> [--port P] [--shard DIR ...] [--fleet]
     status      <campaign>
+    top         <campaign> [--fabric HOST:PORT] [--once]  # mission control
+    merge-trace <campaign> [-o OUT]     # one-lane-per-worker Perfetto view
     cancel      <campaign> JOB_ID
     report      <campaign> [--json OUT]
     demo        [-d DIR] [-n WORKERS]   # the CI end-to-end smoke campaign
+    fleet-demo  [-d DIR] [-n WORKERS]   # fleet observability gate (CI)
     chaos       [-d DIR] [--quick]      # the fabric chaos matrix (CI gate)
 
 ``demo`` builds and drives a full campaign on tiny wave-solver configs:
@@ -24,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 import time
 
@@ -89,11 +93,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="listen port (default: ephemeral, printed)")
     p.add_argument("--lease-seconds", type=float, default=None)
     p.add_argument("--reap-interval", type=float, default=None)
+    p.add_argument("--fleet", action="store_true",
+                   help="aggregate worker telemetry into windowed "
+                        "rollups under <campaign>/fleet/ (DESIGN §13)")
 
     p = sub.add_parser("status", help="queue counts, per-job states, "
                                       "predicted makespan")
     _add_campaign(p)
     p.add_argument("--json", dest="json_out", default=None)
+
+    p = sub.add_parser("top", help="live mission control: backlog, "
+                                   "throughput, ETA, worker health, alerts")
+    _add_campaign(p)
+    p.add_argument("--fabric", default=None, metavar="HOST:PORT",
+                   help="coordinator to read the live fleet view from "
+                        "(default: last persisted rollup + queue files)")
+    p.add_argument("--once", action="store_true",
+                   help="print one board and exit")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="refresh cadence in seconds")
+    p.add_argument("-n", "--workers", type=int, default=None,
+                   help="worker count for the ETA estimate (default: "
+                        "workers seen by the fleet)")
+
+    p = sub.add_parser("merge-trace", help="assemble the campaign-wide "
+                       "Perfetto trace: one lane per worker, clock-skew "
+                       "normalised")
+    _add_campaign(p)
+    p.add_argument("-o", "--out", default=None,
+                   help="output file (default: <campaign>/campaign-"
+                        "trace.json)")
 
     p = sub.add_parser("cancel", help="cancel a pending job")
     _add_campaign(p)
@@ -110,6 +139,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="campaign directory (default: jobs-demo)")
     p.add_argument("-n", "--workers", type=int, default=3)
     p.add_argument("--timeout", type=float, default=600.0)
+
+    p = sub.add_parser("fleet-demo", help="fleet observability gate: "
+                       "2-worker campaign with telemetry shipping; "
+                       "asserts rollups equal the sum of per-worker run "
+                       "dirs (CI)")
+    p.add_argument("-d", "--dir", default="jobs-fleet-demo",
+                   help="campaign directory (default: jobs-fleet-demo; "
+                        "wiped)")
+    p.add_argument("-n", "--workers", type=int, default=2)
+    p.add_argument("--jobs", type=int, default=4)
+    p.add_argument("--timeout", type=float, default=600.0)
+    p.add_argument("--lease-seconds", type=float, default=4.0)
 
     p = sub.add_parser("chaos", help="fabric chaos matrix: prove "
                                      "exactly-once under injected failure")
@@ -190,10 +231,13 @@ def cmd_coordinator(args) -> int:
     shards = [args.campaign] + list(args.shard)
     coord = Coordinator(args.campaign, shards=shards, host=args.host,
                         port=args.port, lease_seconds=lease,
-                        reap_interval=args.reap_interval).start()
+                        reap_interval=args.reap_interval,
+                        fleet=args.fleet or None).start()
     host, port = coord.address
     print(f"coordinator epoch {coord.epoch} serving {len(shards)} "
-          f"shard(s) on {host}:{port}  (lease {lease:.0f}s; Ctrl-C stops)")
+          f"shard(s) on {host}:{port}  (lease {lease:.0f}s"
+          + (", fleet telemetry on" if coord.fleet is not None else "")
+          + "; Ctrl-C stops)")
     sys.stdout.flush()
     try:
         while True:
@@ -225,6 +269,29 @@ def cmd_status(args) -> int:
         print("requeued jobs:")
         for jid, reasons in status["requeued"].items():
             print(f"  {jid:28s} {', '.join(reasons)}")
+    return 0
+
+
+def cmd_top(args) -> int:
+    from .fabric import parse_address
+    from .mission import run_top
+
+    fabric = parse_address(args.fabric) if args.fabric else None
+    return run_top(args.campaign, fabric=fabric, interval=args.interval,
+                   once=args.once, n_workers=args.workers)
+
+
+def cmd_merge_trace(args) -> int:
+    from repro.telemetry import assemble_campaign_trace
+
+    out = args.out or str(pathlib.Path(args.campaign)
+                          / "campaign-trace.json")
+    merged = assemble_campaign_trace(args.campaign, out=out)
+    lanes = merged.get("otherData", {}).get("workers", [])
+    print(f"merged {len(merged.get('traceEvents', []))} events into "
+          f"{len(lanes)} worker lane(s)"
+          + (f" ({', '.join(lanes)})" if lanes else "")
+          + f" -> {out}")
     return 0
 
 
@@ -377,6 +444,133 @@ def cmd_demo(args) -> int:
     return 0
 
 
+def cmd_fleet_demo(args) -> int:
+    """The fleet-observability acceptance gate (ISSUE 9): a chaos-free
+    2-worker campaign with telemetry shipping on, checked for
+
+    * coordinator rollup counters equal to the **exact** sum of the
+      per-worker run-dir ``metrics.jsonl`` final snapshots;
+    * a merged Perfetto trace with one lane per executing worker;
+    * a ``top --once`` board showing backlog/ETA/worker health and zero
+      active alerts;
+    * zero delta/event losses and zero merge conflicts.
+    """
+    import shutil
+
+    from repro.telemetry import assemble_campaign_trace, load_rollups
+    from repro.telemetry.fleet import ROLLUPS_FILE, sum_run_dir_counters
+    from .campaign import Campaign
+    from .fabric import Coordinator
+    from .mission import gather, render
+    from .pool import WorkerPool
+
+    root = pathlib.Path(args.dir)
+    if root.exists():
+        shutil.rmtree(root)
+    checks: list[tuple[str, bool, str]] = []
+
+    def check(label: str, ok: bool, detail: str = "") -> None:
+        checks.append((label, bool(ok), detail))
+        print(f"  [{'PASS' if ok else 'FAIL'}] {label}"
+              + (f" — {detail}" if detail else ""))
+
+    campaign = Campaign(root)
+    print(f"fleet demo in {root}: submitting {args.jobs} jobs")
+    for i in range(args.jobs):
+        campaign.submit(_demo_config(f"fleet-{i}", t_end=3.0 + 0.5 * i),
+                        priority=i % 2)
+
+    coord = Coordinator(root, lease_seconds=args.lease_seconds,
+                        reap_interval=0.5, fleet=True).start()
+    host, port = coord.address
+    address = f"{host}:{port}"
+    print(f"coordinator on {address} (fleet telemetry on); starting "
+          f"{args.workers} workers")
+    pool = WorkerPool(root, args.workers, fabric=address,
+                      lease_seconds=args.lease_seconds).start()
+    try:
+        drained = pool.join(args.timeout)
+    finally:
+        pool.terminate()
+    check("workers drained the queue", drained)
+
+    # live mission-control board while the coordinator is still up
+    status = gather(root, fabric=(host, port))
+    print()
+    print(render(status))
+    print()
+    check("top reads the live fleet view", status.get("source") == "live")
+    check("zero active alerts", not status.get("alerts"),
+          str(status.get("alerts") or ""))
+    jobs = campaign.queue.jobs()
+    bad = {j: r["state"] for j, r in jobs.items() if r["state"] != "done"}
+    check("every job completed", not bad, str(bad) if bad else "")
+
+    coord.stop()  # writes the final rollup window
+
+    rollups = load_rollups(root / "fleet" / ROLLUPS_FILE)
+    check("rollups persisted beside the queue journal", bool(rollups),
+          f"{len(rollups)} windows")
+    final = rollups[-1] if rollups else {}
+    fleet_counters = {
+        (c["name"], tuple(sorted(c.get("labels", {}).items()))): c["value"]
+        for c in final.get("counters", [])
+    }
+    expected = sum_run_dir_counters(root)
+
+    def matches(key, value) -> bool:
+        got = fleet_counters.get(key)
+        if got is None:
+            return False
+        if float(value).is_integer():  # integral counters must be exact
+            return got == value
+        return abs(got - value) <= 1e-9 * max(1.0, abs(value))
+
+    mismatched = {
+        key: (fleet_counters.get(key), value)
+        for key, value in sorted(expected.items())
+        if not matches(key, value)
+    }
+    check("rollup counters equal the exact sum of per-worker run dirs",
+          bool(expected) and not mismatched,
+          f"{len(expected)} counter series"
+          + (f"; mismatched: {mismatched}" if mismatched else ""))
+
+    worker_rows = {w: info for w, info in final.get("workers", {}).items()
+                   if w != "coordinator"}
+    losses = {w: info["lost_deltas"] + info["lost_events"]
+              for w, info in worker_rows.items()
+              if info.get("lost_deltas") or info.get("lost_events")}
+    check("zero delta/event losses", not losses, str(losses))
+    check("zero histogram merge conflicts",
+          final.get("merge_conflicts", 0) == 0,
+          f"{final.get('merge_conflicts')}")
+
+    run_dir_workers = set()
+    for meta_path in root.glob("runs/*/attempt-*/meta.json"):
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        w = meta.get("meta", {}).get("worker")
+        if w:
+            run_dir_workers.add(w)
+    trace_out = root / "campaign-trace.json"
+    merged = assemble_campaign_trace(root, out=trace_out)
+    lanes = set(merged.get("otherData", {}).get("workers", []))
+    check("merged Perfetto trace has one lane per worker",
+          bool(lanes) and lanes == run_dir_workers,
+          f"lanes={sorted(lanes)} run dirs={sorted(run_dir_workers)}")
+    print(f"merged trace written to {trace_out}")
+
+    failed = [label for label, ok, _ in checks if not ok]
+    if failed:
+        print(f"\nfleet demo FAILED: {failed}", file=sys.stderr)
+        return 1
+    print("\nfleet demo PASSED: all checks green")
+    return 0
+
+
 def cmd_chaos(args) -> int:
     from .fabric.chaos import render_matrix, run_matrix
 
@@ -399,9 +593,12 @@ COMMANDS = {
     "run-workers": cmd_run_workers,
     "coordinator": cmd_coordinator,
     "status": cmd_status,
+    "top": cmd_top,
+    "merge-trace": cmd_merge_trace,
     "cancel": cmd_cancel,
     "report": cmd_report,
     "demo": cmd_demo,
+    "fleet-demo": cmd_fleet_demo,
     "chaos": cmd_chaos,
 }
 

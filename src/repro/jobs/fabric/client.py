@@ -27,6 +27,7 @@ cadence to re-attach when the coordinator returns.  The
 
 from __future__ import annotations
 
+import math
 import os
 import socket
 import threading
@@ -75,6 +76,11 @@ class FabricClient:
         # the heartbeat thread shares this client with the worker loop;
         # one RPC owns the connection at a time
         self._lock = threading.RLock()
+        #: estimated coordinator_wall − local_wall [s], from the
+        #: ``server_wall`` echo every response carries; the minimum-RTT
+        #: sample wins (tightest bound on the true offset)
+        self.clock_offset = 0.0
+        self._offset_rtt = math.inf
 
     # -- connection management ----------------------------------------
     def _connect(self, timeout: float) -> socket.socket:
@@ -119,8 +125,9 @@ class FabricClient:
                 if attempt > 0 and budget <= 0:
                     break
                 t0 = time.perf_counter()
+                wall_t0 = time.time()
                 try:
-                    value = self._attempt(request, max(0.05, min(
+                    response = self._attempt(request, max(0.05, min(
                         self.rpc_timeout,
                         budget if attempt else self.rpc_timeout,
                     )))
@@ -139,16 +146,36 @@ class FabricClient:
                         break
                     time.sleep(delay)
                     continue
+                elapsed = time.perf_counter() - t0
+                self._observe_offset(response, wall_t0, time.time(),
+                                     elapsed)
                 if self.metrics is not None:
                     self.metrics.histogram("rpc_latency_seconds", op=op) \
-                        .observe(time.perf_counter() - t0)
-                return value
+                        .observe(elapsed)
+                return response.get("value")
         raise CoordinatorUnreachable(
             f"{op} to {self.address[0]}:{self.address[1]} failed after "
             f"{attempt} attempts in {overall:.1f}s: {last_exc!r}"
         )
 
-    def _attempt(self, request: dict, timeout: float):
+    def _observe_offset(self, response: dict, wall_t0: float,
+                        wall_t1: float, rtt: float) -> None:
+        """Fold one ``server_wall`` echo into the clock-offset estimate:
+        offset = server_wall − midpoint(send, receive), kept from the
+        lowest-RTT exchange seen (NTP's classic bound — the shorter the
+        round trip, the less room for asymmetry error)."""
+        server_wall = response.get("server_wall")
+        if server_wall is None:
+            return
+        if rtt <= self._offset_rtt:
+            self._offset_rtt = rtt
+            self.clock_offset = float(server_wall) - 0.5 * (wall_t0
+                                                            + wall_t1)
+            if self.metrics is not None:
+                self.metrics.gauge("rpc_clock_offset_seconds") \
+                    .set(self.clock_offset)
+
+    def _attempt(self, request: dict, timeout: float) -> dict:
         sock = self._connect(timeout)
         sock.settimeout(timeout)
         send_frame(sock, request)
@@ -160,7 +187,7 @@ class FabricClient:
                 continue  # stale response to an abandoned earlier request
             break
         if response.get("ok"):
-            return response.get("value")
+            return response
         raise RpcRemoteError(response.get("kind", "error"),
                              response.get("error", ""))
 
@@ -177,11 +204,15 @@ class FabricQueue:
     def __init__(self, address, *, roots=None, name: str = "worker",
                  rpc_timeout: float = 2.0, deadline: float = 6.0,
                  metrics=None, probe_base: float = 0.5,
-                 lease_seconds: float | None = None):
+                 lease_seconds: float | None = None, shipper=None):
+        if metrics is None and shipper is not None:
+            metrics = shipper.registry  # rpc latency lands in the fleet
         self.client = FabricClient(address, rpc_timeout=rpc_timeout,
                                    deadline=deadline, metrics=metrics)
         self.name = name
         self.metrics = metrics
+        self.shipper = shipper
+        self._fleet = False  # set by attach() from the hello response
         self.lease_seconds = lease_seconds
         self.pid_tag = worker_pid_tag()
         self._direct = ([JobQueue(r, lease_seconds=lease_seconds)
@@ -216,6 +247,7 @@ class FabricQueue:
             self._enter_degraded()
             raise
         self.coordinator_info = info
+        self._fleet = bool(info.get("fleet")) and self.shipper is not None
         if self.lease_seconds is None:
             self.lease_seconds = info.get("lease_seconds")
         if self.degraded:
@@ -327,16 +359,52 @@ class FabricQueue:
         unreachable with no fallback: losing connectivity must not make
         the worker abandon a job the reaper may never requeue —
         exactly-once is enforced by the ownership guard at completion,
-        not by the worker's guess."""
+        not by the worker's guess.
+
+        When a :class:`~repro.telemetry.TelemetryShipper` is attached
+        and the coordinator runs fleet aggregation, the heartbeat
+        piggybacks the worker's pending telemetry deltas and commits
+        whatever the coordinator acknowledged — telemetry costs no
+        extra round trips on the steady-state path."""
         shard = self._shards.get(job_id, 0)
         worker = worker or self.name
+        extra = {}
+        if self.shipper is not None and self._fleet and not self.degraded:
+            self.shipper.clock_offset = self.client.clock_offset
+            payload = self.shipper.flush()
+            if payload is not None:
+                extra["telemetry"] = payload
         try:
-            return bool(self._rpc("heartbeat", id=job_id, shard=shard,
-                                  worker=worker))
+            value = self._rpc("heartbeat", id=job_id, shard=shard,
+                              worker=worker, **extra)
         except CoordinatorUnreachable:
             if not self._direct:
                 return True
             return self._direct[shard].heartbeat(job_id, worker=worker)
+        if isinstance(value, dict):
+            if self.shipper is not None:
+                self.shipper.commit(value.get("telemetry_ack"))
+            return bool(value.get("alive"))
+        return bool(value)
+
+    def push_telemetry(self, *, full: bool = True):
+        """Ship every pending telemetry delta now (``telemetry.push``) —
+        the full-flush path workers take at job end and on exit.
+        Returns the acknowledged sequence number, or None when there is
+        nothing to ship / no fleet aggregation to ship to."""
+        if self.shipper is None or not self._fleet or self.degraded:
+            return None
+        self.shipper.clock_offset = self.client.clock_offset
+        payload = self.shipper.flush(full=True) if full \
+            else self.shipper.flush()
+        if payload is None:
+            return None
+        try:
+            ack = self._rpc("telemetry.push", payload=payload)
+        except FabricError:
+            return None  # deltas stay in flight; a later flush retries
+        self.shipper.commit(ack)
+        return ack
 
     def preempt_requested(self, job_id: str) -> bool:
         shard = self._shards.get(job_id, 0)

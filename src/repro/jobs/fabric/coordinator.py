@@ -40,8 +40,15 @@ import socket
 import threading
 import time
 
-from repro.telemetry import MetricsRegistry
-from ..queue import DEFAULT_LEASE_SECONDS, JobError, JobQueue, QueueSaturated
+from repro.telemetry import FleetAggregator, MetricsRegistry
+from ..queue import (
+    DEFAULT_LEASE_SECONDS,
+    PENDING,
+    RUNNING,
+    JobError,
+    JobQueue,
+    QueueSaturated,
+)
 from .protocol import ProtocolError, recv_frame, send_frame
 
 EPOCH_FILE = "fabric-epoch.json"
@@ -58,7 +65,8 @@ class Coordinator:
 
     def __init__(self, root, *, shards=None, host: str = "127.0.0.1",
                  port: int = 0, lease_seconds: float = DEFAULT_LEASE_SECONDS,
-                 reap_interval: float | None = None, metrics=None):
+                 reap_interval: float | None = None, metrics=None,
+                 fleet=None):
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         paths = [pathlib.Path(s) for s in (shards or [root])]
@@ -69,6 +77,15 @@ class Coordinator:
                               if reap_interval is None
                               else float(reap_interval))
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # fleet telemetry aggregation (DESIGN §13): True → an aggregator
+        # persisting beside the queue journal under <root>/fleet/, or
+        # pass a ready FleetAggregator; None/False → disabled (workers
+        # learn this from the hello response and never ship)
+        if fleet is True:
+            fleet = FleetAggregator(self.root / "fleet")
+        self.fleet = fleet or None
+        if self.fleet is not None:
+            self.fleet.track_local("coordinator", self.metrics)
         self.epoch = self._bump_epoch()
         #: (shard, job_id, wall) of every lease-expiry requeue this epoch
         self.reaped: list[tuple[int, str, float]] = []
@@ -139,6 +156,8 @@ class Coordinator:
         for t in self._threads:
             t.join(5.0)
         self._threads = []
+        if self.fleet is not None:
+            self.fleet.close()  # final window rollup; idempotent
 
     def __enter__(self) -> "Coordinator":
         return self.start()
@@ -191,6 +210,8 @@ class Coordinator:
     def _reap_loop(self) -> None:
         while not self._stop.wait(self.reap_interval):
             self.reap_once()
+            if self.fleet is not None:
+                self.fleet.tick()
 
     def reap_once(self) -> list[tuple[int, str]]:
         """One reaper pass over every shard; returns (shard, job) pairs
@@ -217,7 +238,9 @@ class Coordinator:
         op = msg.get("op")
         token = msg.get("token")
         self.metrics.counter("fabric_requests", op=str(op)).inc()
-        handler = getattr(self, f"_op_{op}", None) if op else None
+        # dotted op names (telemetry.push) map onto underscore handlers
+        handler = (getattr(self, f"_op_{str(op).replace('.', '_')}", None)
+                   if op else None)
         if handler is None or str(op).startswith("_"):
             return {"ok": False, "kind": "protocol",
                     "error": f"unknown op {op!r}", "token": token}
@@ -226,12 +249,18 @@ class Coordinator:
         except (JobError, QueueSaturated) as exc:
             self.metrics.counter("fabric_errors", op=str(op)).inc()
             return {"ok": False, "kind": type(exc).__name__,
-                    "error": str(exc), "token": token}
+                    "error": str(exc), "token": token,
+                    "server_wall": time.time()}
         except Exception as exc:  # pragma: no cover - defensive
             self.metrics.counter("fabric_errors", op=str(op)).inc()
             return {"ok": False, "kind": "internal",
-                    "error": f"{type(exc).__name__}: {exc}", "token": token}
-        return {"ok": True, "value": value, "token": token}
+                    "error": f"{type(exc).__name__}: {exc}", "token": token,
+                    "server_wall": time.time()}
+        # every response echoes the coordinator's wall clock — clients
+        # estimate their skew from it (min-RTT midpoint), which is what
+        # clock-normalises per-worker trace lanes at assembly time
+        return {"ok": True, "value": value, "token": token,
+                "server_wall": time.time()}
 
     def _shard(self, msg: dict) -> tuple[int, JobQueue]:
         i = int(msg.get("shard", 0))
@@ -246,6 +275,7 @@ class Coordinator:
             "lease_seconds": self.lease_seconds,
             "shards": len(self.queues),
             "root": str(self.root),
+            "fleet": self.fleet is not None,
         }
 
     def _op_claim(self, msg: dict) -> dict | None:
@@ -281,9 +311,45 @@ class Coordinator:
                 return rec
         return None
 
-    def _op_heartbeat(self, msg: dict) -> bool:
+    def _op_heartbeat(self, msg: dict):
         _, q = self._shard(msg)
-        return q.heartbeat(msg["id"], worker=msg.get("worker"))
+        alive = q.heartbeat(msg["id"], worker=msg.get("worker"))
+        payload = msg.get("telemetry")
+        if payload and self.fleet is not None:
+            ack = self.fleet.ingest(payload)
+            return {"alive": alive, "telemetry_ack": ack}
+        return alive
+
+    def _op_telemetry_push(self, msg: dict) -> int:
+        if self.fleet is None:
+            raise JobError("fleet telemetry aggregation is disabled")
+        return self.fleet.ingest(msg.get("payload") or {})
+
+    def _op_fleet(self, msg: dict) -> dict:
+        """The mission-control snapshot: the live fleet rollup plus a
+        queue-side job summary (state, priority, §III-D cost) so ``top``
+        can render backlog by priority class and a cost-model ETA."""
+        if self.fleet is None:
+            raise JobError("fleet telemetry aggregation is disabled")
+        snap = self.fleet.snapshot()
+        snap["epoch"] = self.epoch
+        snap["counts"] = self._op_counts(msg)
+        jobs = []
+        for shard, q in enumerate(self.queues):
+            for rec in q.jobs().values():
+                if rec.get("state") not in (PENDING, RUNNING):
+                    continue
+                jobs.append({
+                    "id": rec["id"],
+                    "shard": shard,
+                    "state": rec["state"],
+                    "priority": rec.get("priority", 0),
+                    "worker": rec.get("worker"),
+                    "seq": rec.get("seq", 0),
+                    "cost": rec.get("cost"),
+                })
+        snap["jobs"] = jobs
+        return snap
 
     def _op_complete(self, msg: dict) -> dict:
         _, q = self._shard(msg)

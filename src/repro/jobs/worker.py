@@ -72,7 +72,8 @@ def _build_or_resume(config: RunConfig, checkpoint_dir: pathlib.Path):
 def execute_job(root, record: dict, queue: JobQueue, *,
                 checkpoint_every: int = 0, metrics_every: int = 5,
                 preempt_poll: int = 1,
-                lease_lost: threading.Event | None = None) -> dict:
+                lease_lost: threading.Event | None = None,
+                shipper=None, worker: str | None = None) -> dict:
     """Run one claimed job record to completion, preemption, or failure.
 
     Returns the worker-side outcome::
@@ -81,6 +82,13 @@ def execute_job(root, record: dict, queue: JobQueue, *,
         {"outcome": "preempted", "checkpoint": "<dir>"}
 
     Failures propagate as exceptions (the caller records them).
+
+    With a :class:`repro.telemetry.TelemetryShipper` attached, the job's
+    sink registry is watched for the duration of the run (its metric
+    deltas and recovery events ride the worker's heartbeats to the
+    coordinator's fleet aggregator) and the §III-D predicted step time
+    is published as the ``job_predicted_step_seconds`` gauge the
+    step-time-regression SLO rule compares against.
     """
     root = pathlib.Path(root)
     job_id = record["id"]
@@ -104,7 +112,14 @@ def execute_job(root, record: dict, queue: JobQueue, *,
                          metrics_every=metrics_every,
                          meta={"job": job_id, "cache_key": record["cache_key"],
                                "attempt": record["attempts"],
+                               "worker": worker or "",
                                "resumed_from": str(resumed_from or "")})
+    if shipper is not None:
+        shipper.watch(sink.metrics)
+        sink.add_listener(shipper.event)
+        per_step = (record.get("cost") or {}).get("per_step_seconds")
+        if per_step:
+            sink.metrics.gauge("job_predicted_step_seconds").set(per_step)
     injector = None
     if record.get("fault_steps"):
         injector = FaultInjector(seed=record["seq"],
@@ -143,6 +158,11 @@ def execute_job(root, record: dict, queue: JobQueue, *,
     finally:
         sink.finalize(solver)
         run.journal.close()
+        if shipper is not None:
+            # fold the final (post-finalize) registry diff into pending
+            # so the end-of-job push ships exact totals
+            shipper.unwatch(sink.metrics)
+            sink.remove_listener(shipper.event)
     wall = time.perf_counter() - t0
 
     if report.get("preempted"):
@@ -208,6 +228,9 @@ def worker_loop(root, name: str = "worker", *, poll: float = 0.05,
     root = pathlib.Path(root)
     if queue is None:
         queue = JobQueue(root)
+    shipper = execute_kwargs.pop("shipper", None)
+    if shipper is None:
+        shipper = getattr(queue, "shipper", None)
     if heartbeat_interval is None:
         heartbeat_interval = _heartbeat_interval(queue)
     if reap_interval is None:
@@ -255,7 +278,8 @@ def worker_loop(root, name: str = "worker", *, poll: float = 0.05,
         guards = {"worker": name, "attempt": record["attempts"]}
         try:
             outcome = execute_job(root, record, queue,
-                                  lease_lost=lease_lost, **execute_kwargs)
+                                  lease_lost=lease_lost, shipper=shipper,
+                                  worker=name, **execute_kwargs)
         except Exception:
             try:
                 queue.fail(record["id"], traceback.format_exc(limit=8),
@@ -288,6 +312,14 @@ def worker_loop(root, name: str = "worker", *, poll: float = 0.05,
                 # new owner's completion is the one that counts (our
                 # result already landed in the idempotent ResultCache)
                 stats["lost_leases"] += 1
+        if hasattr(queue, "push_telemetry"):
+            # end-of-job full flush: the rollup equals the sum of run
+            # dirs without waiting for the next heartbeat window
+            queue.push_telemetry()
+    if hasattr(queue, "push_telemetry"):
+        queue.push_telemetry()  # final flush before the process exits
+    if shipper is not None:
+        stats["telemetry"] = shipper.stats()
     return stats
 
 
@@ -316,10 +348,12 @@ def worker_main(root: str, name: str, fabric: str | None = None,
     """
     queue = None
     if fabric:
+        from repro.telemetry import TelemetryShipper
         from .fabric import FabricQueue, parse_address
 
         queue = FabricQueue(parse_address(fabric), roots=[root], name=name,
-                            lease_seconds=lease_seconds)
+                            lease_seconds=lease_seconds,
+                            shipper=TelemetryShipper(name))
         try:
             queue.attach()
         except Exception:

@@ -12,11 +12,42 @@ One layer every subsystem emits into (see DESIGN.md §9):
   ``meta.json``); the :class:`repro.perf.StepProfiler`,
   :class:`repro.resilience.RunJournal`, and GPU counter paths all
   publish into it under one event schema;
+* :mod:`~repro.telemetry.fleet` — campaign-wide observability
+  (DESIGN.md §13): :class:`TelemetryShipper` turns worker registries
+  into bounded loss-counted deltas shipped over the fabric RPC;
+  :class:`FleetAggregator` merges them (counters summed, histograms
+  bucket-merged, gauges last-write-wins per worker) into windowed
+  crash-safe JSONL rollups with an SLO/anomaly rule scan;
+  :func:`assemble_campaign_trace` builds the one-lane-per-worker
+  Perfetto view with clock-skew normalisation;
+* :mod:`~repro.telemetry.history` — continuous perf trajectory: a
+  rolling store of bench profiles with a median baseline for
+  ``compare --history``;
 * ``python -m repro.telemetry`` — ``record`` / ``summarize`` /
-  ``export-trace`` / ``compare`` over run directories and benchmark
-  JSON reports.
+  ``export-trace`` / ``compare`` / ``history`` over run directories
+  and benchmark JSON reports.
 """
 
+from .fleet import (
+    DELTA_SCHEMA,
+    ROLLUP_SCHEMA,
+    FleetAggregator,
+    MergeConflict,
+    SLORules,
+    TelemetryShipper,
+    assemble_campaign_trace,
+    load_rollups,
+    merge_gauge,
+    merge_histogram,
+    sum_run_dir_counters,
+)
+from .history import (
+    HISTORY_SCHEMA,
+    add_entry,
+    compare_to_history,
+    load_history,
+    rolling_baseline,
+)
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     METRICS_SCHEMA,
@@ -25,6 +56,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     load_snapshots,
+    quantile_from_dict,
     registry_from_snapshot,
     write_snapshot,
 )
@@ -41,22 +73,39 @@ from .tracer import TRACE_SCHEMA, Tracer, merge_chrome_traces
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
+    "DELTA_SCHEMA",
     "EVENTS_FILE",
+    "HISTORY_SCHEMA",
     "META_FILE",
     "METRICS_FILE",
     "METRICS_SCHEMA",
+    "ROLLUP_SCHEMA",
     "RUN_SCHEMA",
     "TRACE_FILE",
     "TRACE_SCHEMA",
     "Counter",
+    "FleetAggregator",
     "Gauge",
     "Histogram",
+    "MergeConflict",
     "MetricsRegistry",
+    "SLORules",
+    "TelemetryShipper",
     "TelemetrySink",
     "Tracer",
+    "add_entry",
+    "assemble_campaign_trace",
+    "compare_to_history",
+    "load_history",
+    "load_rollups",
     "load_snapshots",
     "merge_chrome_traces",
+    "merge_gauge",
+    "merge_histogram",
+    "quantile_from_dict",
     "read_events",
     "registry_from_snapshot",
+    "rolling_baseline",
+    "sum_run_dir_counters",
     "write_snapshot",
 ]

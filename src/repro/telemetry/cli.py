@@ -24,7 +24,7 @@ import json
 import pathlib
 import sys
 
-from .metrics import load_snapshots
+from .metrics import load_snapshots, quantile_from_dict
 from .sink import (
     EVENTS_FILE,
     META_FILE,
@@ -134,23 +134,28 @@ def summarize_run(run_dir) -> str:
         m = mm.get(("phase_seconds", (("phase", ph),)))
         if m and m["count"]:
             per_step = m["sum"] / m["count"]
-            phase_rows.append((ph, per_step, m["sum"], m["min"], m["max"]))
+            phase_rows.append((ph, per_step, m))
             phase_sum += per_step
     if phase_rows:
         lines.append("")
-        hdr = f"{'phase':<10} {'per-step [s]':>13} {'share':>7} {'min [s]':>10} {'max [s]':>10}"
+        hdr = (f"{'phase':<10} {'per-step [s]':>13} {'share':>7} "
+               f"{'p50 [s]':>10} {'p90 [s]':>10} {'p99 [s]':>10}")
         lines.append(hdr)
-        for ph, per_step, _tot, mn, mx in phase_rows:
+        for ph, per_step, m in phase_rows:
             share = per_step / phase_sum * 100 if phase_sum else 0.0
+            p50, p90, p99 = (quantile_from_dict(m, q)
+                             for q in (0.5, 0.9, 0.99))
             lines.append(
                 f"{ph:<10} {per_step:>13.5f} {share:>6.1f}% "
-                f"{mn:>10.5f} {mx:>10.5f}"
+                f"{p50:>10.5f} {p90:>10.5f} {p99:>10.5f}"
             )
         if step and step["count"]:
             sps = step["sum"] / step["count"]
+            p50, p90, p99 = (quantile_from_dict(step, q)
+                             for q in (0.5, 0.9, 0.99))
             lines.append(
                 f"{'step':<10} {sps:>13.5f} {'':>7} "
-                f"{step['min']:>10.5f} {step['max']:>10.5f}"
+                f"{p50:>10.5f} {p90:>10.5f} {p99:>10.5f}"
                 f"   ({step['count']} steps, {1.0 / sps:.3f} steps/s)"
             )
 
@@ -362,14 +367,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     cmp_ = sub.add_parser("compare", help="paired per-phase deltas of "
                           "two runs or bench reports")
-    cmp_.add_argument("a", help="baseline (run dir or bench --json file)")
-    cmp_.add_argument("b", help="candidate (run dir or bench --json file)")
+    cmp_.add_argument("a", help="baseline (run dir or bench --json file); "
+                      "with --history, the candidate")
+    cmp_.add_argument("b", nargs="?", default=None,
+                      help="candidate (omit when using --history)")
+    cmp_.add_argument("--history", default=None, metavar="DIR",
+                      help="gate the candidate against the rolling median "
+                      "baseline of a perf-history directory instead of a "
+                      "single run")
+    cmp_.add_argument("--window", type=int, default=8,
+                      help="history entries the rolling baseline medians "
+                      "over (with --history)")
     cmp_.add_argument("--threshold", type=float, default=0.1,
                       help="regression threshold as a fraction (0.1 = 10%%)")
     cmp_.add_argument("--warn-only", action="store_true",
                       help="report regressions but exit 0")
     cmp_.add_argument("--json", type=pathlib.Path, default=None,
                       help="also write the comparison as JSON")
+
+    hist = sub.add_parser("history", help="maintain the continuous "
+                          "perf-trajectory store (benchmarks/history/)")
+    hist.add_argument("action", choices=("add", "list"))
+    hist.add_argument("source", nargs="?", default=None,
+                      help="run dir / bench JSON / profile to append "
+                      "(for `add`)")
+    hist.add_argument("--dir", default="benchmarks/history",
+                      help="history directory (default benchmarks/history)")
+    hist.add_argument("--label", default=None,
+                      help="entry label (default: profile label/kind)")
     return ap
 
 
@@ -401,11 +426,40 @@ def main(argv=None) -> int:
             print(text)
         return 0
     if args.cmd == "compare":
-        result = compare_profiles(load_profile(args.a), load_profile(args.b),
+        if args.history is not None:
+            from .history import load_history, rolling_baseline
+
+            entries = load_history(args.history)
+            if not entries:
+                print(f"error: no history entries in {args.history}",
+                      file=sys.stderr)
+                return 2
+            baseline = rolling_baseline(entries, window=args.window)
+            candidate = load_profile(args.a)
+        else:
+            if args.b is None:
+                print("error: compare needs two inputs (or --history DIR)",
+                      file=sys.stderr)
+                return 2
+            baseline = load_profile(args.a)
+            candidate = load_profile(args.b)
+        result = compare_profiles(baseline, candidate,
                                   threshold=args.threshold)
         print(render_compare(result))
         if args.json is not None:
             args.json.parent.mkdir(parents=True, exist_ok=True)
             args.json.write_text(json.dumps(result, indent=2))
         return 0 if (result["ok"] or args.warn_only) else 1
+    if args.cmd == "history":
+        from .history import add_entry, load_history, render_history
+
+        if args.action == "add":
+            if args.source is None:
+                print("error: history add needs a source", file=sys.stderr)
+                return 2
+            path = add_entry(args.dir, args.source, label=args.label)
+            print(f"appended {path}")
+            return 0
+        print(render_history(load_history(args.dir)))
+        return 0
     return 2

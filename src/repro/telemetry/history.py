@@ -1,0 +1,133 @@
+"""Continuous perf trajectory: a rolling store of bench profiles.
+
+A single committed baseline JSON (PR 4's compare gate) answers "did
+this change regress against one blessed run?" — but a fleet producing
+bench reports continuously needs the longitudinal question: "is this
+candidate slow against *recent history*?"  This module keeps an
+append-only directory of normalised profiles (``benchmarks/history/``
+by convention), each entry one small JSON file, and derives a rolling
+baseline as the **per-phase median over the last N entries** — robust
+to a single noisy run on either side of the comparison.
+
+``python -m repro.telemetry history add/list`` maintains the store and
+``python -m repro.telemetry compare --history DIR candidate`` gates a
+candidate against the rolling baseline with the same per-phase
+threshold semantics as the two-run compare.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from .cli import compare_profiles, load_profile
+
+#: schema identifier stamped into every history entry
+HISTORY_SCHEMA = "repro-perf-history-v1"
+
+
+def _median(values: list[float]) -> float:
+    vs = sorted(values)
+    n = len(vs)
+    mid = n // 2
+    return vs[mid] if n % 2 else 0.5 * (vs[mid - 1] + vs[mid])
+
+
+def add_entry(history_dir, source, *, label: str | None = None,
+              wall: float | None = None) -> pathlib.Path:
+    """Normalise ``source`` (run dir / bench JSON / profile) and append
+    it to the history directory as the next numbered entry."""
+    history_dir = pathlib.Path(history_dir)
+    history_dir.mkdir(parents=True, exist_ok=True)
+    profile = load_profile(source)
+    seq = 0
+    for existing in history_dir.glob("*.json"):
+        head = existing.name.split("-", 1)[0]
+        if head.isdigit():
+            seq = max(seq, int(head) + 1)
+    name = label or profile.get("label") or profile.get("kind") or "entry"
+    safe = "".join(c if (c.isalnum() or c in "-_.") else "_" for c in name)
+    path = history_dir / f"{seq:06d}-{safe}.json"
+    entry = {
+        "schema": HISTORY_SCHEMA,
+        "seq": seq,
+        "wall": time.time() if wall is None else float(wall),
+        "label": name,
+        "profile": profile,
+    }
+    path.write_text(json.dumps(entry, indent=2, default=str) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_history(history_dir) -> list[dict]:
+    """All entries, oldest first (numbered-file order); unreadable or
+    foreign JSON files are skipped rather than fatal."""
+    entries = []
+    history_dir = pathlib.Path(history_dir)
+    if not history_dir.is_dir():
+        return entries
+    for path in sorted(history_dir.glob("*.json")):
+        try:
+            entry = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if entry.get("schema") != HISTORY_SCHEMA:
+            continue
+        entry["path"] = str(path)
+        entries.append(entry)
+    return entries
+
+
+def rolling_baseline(entries: list[dict], *, window: int = 8) -> dict:
+    """A synthetic profile: per-phase (and per-step) **median** over the
+    last ``window`` entries — the baseline ``compare --history`` gates
+    against.  Raises ValueError on an empty history."""
+    if not entries:
+        raise ValueError("perf history is empty — run `history add` first")
+    recent = entries[-window:]
+    phases: dict[str, list[float]] = {}
+    steps: list[float] = []
+    for entry in recent:
+        prof = entry.get("profile", {})
+        for ph, v in prof.get("phases", {}).items():
+            if v is not None:
+                phases.setdefault(ph, []).append(float(v))
+        sps = prof.get("sec_per_step")
+        if sps:
+            steps.append(float(sps))
+    return {
+        "source": f"history[{len(recent)} of {len(entries)} entries]",
+        "kind": "history-baseline",
+        "window": len(recent),
+        "phases": {ph: _median(vs) for ph, vs in phases.items()},
+        "sec_per_step": _median(steps) if steps else None,
+    }
+
+
+def compare_to_history(history_dir, candidate, *, threshold: float = 0.1,
+                       window: int = 8) -> dict:
+    """Gate ``candidate`` (run dir / bench JSON / profile) against the
+    rolling median baseline of ``history_dir``."""
+    baseline = rolling_baseline(load_history(history_dir), window=window)
+    return compare_profiles(baseline, load_profile(candidate),
+                            threshold=threshold)
+
+
+def render_history(entries: list[dict]) -> str:
+    """One line per entry: seq, label, step time, phase count."""
+    if not entries:
+        return "(empty history)"
+    lines = [f"{'seq':>6} {'label':<24} {'sec/step':>12} {'phases':>7}"]
+    for entry in entries:
+        prof = entry.get("profile", {})
+        sps = prof.get("sec_per_step")
+        lines.append(
+            f"{entry.get('seq', 0):>6} {entry.get('label', '?'):<24} "
+            f"{sps:>12.5f}" if sps else
+            f"{entry.get('seq', 0):>6} {entry.get('label', '?'):<24} "
+            f"{'-':>12}"
+        )
+        lines[-1] += f" {len(prof.get('phases', {})):>7}"
+    return "\n".join(lines)

@@ -102,6 +102,11 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile interpolated from the fixed buckets
+        (see :func:`quantile_from_dict`); None when empty."""
+        return quantile_from_dict(self.to_dict(), q)
+
     def to_dict(self) -> dict:
         return {
             "edges": list(self.edges),
@@ -111,6 +116,47 @@ class Histogram:
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
         }
+
+
+def quantile_from_dict(hist: dict, q: float) -> float | None:
+    """Estimate the ``q``-quantile of a histogram snapshot dict.
+
+    The estimate assumes observations are uniform within each bucket
+    (the standard fixed-bucket interpolation): walk the cumulative
+    counts to the bucket holding rank ``q * count``, then interpolate
+    linearly between its lower and upper edge.  The observed min/max
+    clamp the result, so a one-sample histogram reports that sample for
+    every quantile and the overflow bucket cannot extrapolate past the
+    true maximum.  Returns None for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    total = hist.get("count", 0)
+    if not total:
+        return None
+    edges = hist["edges"]
+    counts = hist["counts"]
+    lo = hist.get("min")
+    hi = hist.get("max")
+    rank = q * total
+    cum = 0
+    for i, c in enumerate(counts):
+        if not c:
+            continue
+        if cum + c >= rank:
+            lower = edges[i - 1] if i > 0 else (
+                lo if lo is not None else 0.0)
+            upper = edges[i] if i < len(edges) else (
+                hi if hi is not None else edges[-1])
+            frac = (rank - cum) / c
+            value = lower + frac * (upper - lower)
+            if lo is not None:
+                value = max(value, lo)
+            if hi is not None:
+                value = min(value, hi)
+            return value
+        cum += c
+    return hi
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}

@@ -106,6 +106,7 @@ class TelemetrySink:
         self._metrics_fh = None
         self._meta = dict(meta) if meta else {}
         self._finalized = False
+        self._listeners: list = []
         if self.run_dir is not None:
             self.run_dir.mkdir(parents=True, exist_ok=True)
             self._events_fh = open(self.run_dir / EVENTS_FILE, "a",
@@ -115,6 +116,17 @@ class TelemetrySink:
             self._write_meta()
 
     # -- events ---------------------------------------------------------
+    def add_listener(self, fn) -> None:
+        """Register ``fn(record)`` to observe every event as it is
+        recorded — the hook fleet telemetry shipping uses to forward
+        recovery events to the coordinator.  Listener errors are
+        swallowed (telemetry must never take the run down)."""
+        self._listeners.append(fn)
+
+    def remove_listener(self, fn) -> None:
+        """Drop a previously registered listener (no-op if absent)."""
+        self._listeners = [f for f in self._listeners if f is not fn]
+
     def event(self, kind: str, **fields) -> dict:
         """Record one event (RunJournal schema) and mirror it onto the
         trace timeline as an instant marker."""
@@ -130,6 +142,11 @@ class TelemetrySink:
         self.tracer.instant(kind, cat="event",
                             args={k: v for k, v in rec.items()
                                   if k not in ("seq", "wall")})
+        for fn in self._listeners:
+            try:
+                fn(rec)
+            except Exception:
+                pass
         return rec
 
     # -- adapters -------------------------------------------------------

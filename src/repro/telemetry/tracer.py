@@ -21,6 +21,7 @@ events on the same pid/tid nest by time containment.
 
 from __future__ import annotations
 
+import json
 import time
 from contextlib import nullcontext
 
@@ -197,14 +198,83 @@ class Tracer:
         }
 
 
-def merge_chrome_traces(traces: list[dict]) -> dict:
-    """Concatenate the events of several exported traces (e.g. one per
-    rank) into one viewable file; ``otherData`` comes from the first."""
+def merge_chrome_traces(traces: list[dict], *, labels=None,
+                        shifts_us=None) -> dict:
+    """Merge several exported traces into one viewable file.
+
+    Lanes (Chrome trace *processes*) get stable identities: each trace
+    is assigned to a lane keyed by its explicit ``labels[i]`` entry, or
+    — when ``labels`` is omitted — by its ``(pid, process_name)`` pair,
+    so the same rank/worker id appearing in multiple input traces (two
+    attempts by worker ``w0``) lands on **one** lane, while distinct
+    workers that both exported with ``pid=0`` are remapped onto
+    separate lanes instead of clashing.  Identical metadata events are
+    deduplicated; with explicit ``labels`` one ``process_name`` record
+    per lane replaces the inputs' own.
+
+    ``shifts_us[i]`` (microseconds) is added to every timed event of
+    trace ``i`` — the hook campaign assembly uses to clock-skew-align
+    traces from different hosts.  ``otherData`` comes from the first
+    trace.
+    """
     if not traces:
         return {"traceEvents": [], "otherData": {"schema": TRACE_SCHEMA}}
-    out = {k: v for k, v in traces[0].items()}
+    explicit = labels is not None
+    if explicit and len(labels) != len(traces):
+        raise ValueError("labels must match traces 1:1")
+    if shifts_us is not None and len(shifts_us) != len(traces):
+        raise ValueError("shifts_us must match traces 1:1")
+    out = {k: v for k, v in traces[0].items() if k != "traceEvents"}
+
+    def lane_of(i: int, tr: dict) -> str:
+        if explicit:
+            return str(labels[i])
+        for ev in tr.get("traceEvents", ()):
+            if ev.get("ph") == "M" and ev.get("name") == "process_name":
+                return str(ev.get("args", {}).get("name", ""))
+        return ""
+
+    pid_of: dict = {}
+    used: set = set()
+
+    def assign(key, want: int) -> int:
+        pid = pid_of.get(key)
+        if pid is None:
+            pid = int(want)
+            while pid in used:
+                pid += 1
+            pid_of[key] = pid
+            used.add(pid)
+        return pid
+
     events: list[dict] = []
-    for tr in traces:
-        events.extend(tr.get("traceEvents", []))
-    out["traceEvents"] = events
+    seen_meta: set[str] = set()
+    lane_names: dict[int, str] = {}
+    for i, tr in enumerate(traces):
+        lane = lane_of(i, tr)
+        shift = float(shifts_us[i]) if shifts_us is not None else 0.0
+        if explicit:
+            lane_names[assign(lane, len(pid_of))] = lane
+        for ev in tr.get("traceEvents", ()):
+            src_pid = ev.get("pid", 0)
+            key = lane if explicit else (src_pid, lane)
+            pid = assign(key, len(pid_of) if explicit else src_pid)
+            merged = dict(ev)
+            merged["pid"] = pid
+            if merged.get("ph") == "M":
+                if explicit and merged.get("name") == "process_name":
+                    continue  # replaced by the per-lane record below
+                fp = json.dumps(merged, sort_keys=True, default=str)
+                if fp in seen_meta:
+                    continue
+                seen_meta.add(fp)
+            elif shift:
+                merged["ts"] = merged.get("ts", 0.0) + shift
+            events.append(merged)
+    meta = [
+        {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+         "args": {"name": name}}
+        for pid, name in sorted(lane_names.items())
+    ]
+    out["traceEvents"] = meta + events
     return out
