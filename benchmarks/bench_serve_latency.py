@@ -1,0 +1,132 @@
+"""E-serve — waveform catalog service latency under synthetic load.
+
+Measures the read path the serve subsystem exists for: a
+:class:`repro.serve.ServeFront` over a model-seeded
+:class:`repro.serve.CatalogStore`, driven by the load generator with
+the standard traffic mix (hot-set hits, parameter-space
+interpolations, detector post-processing, coverage misses).  Reports
+p50/p99 latency per kind, overall throughput, and the hot-set hit
+ratio — plus a 32-client stampede on one cold key to verify request
+coalescing collapses it to a single decode.
+
+The server runs in this process but the measurement loop drives real
+TCP connections, so the numbers include framing, syscalls, and event
+loop scheduling — the costs a client actually pays.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve_latency.py --quick \
+        --json benchmarks/output/serve_latency.json
+
+or via pytest (quick mode): ``pytest benchmarks/bench_serve_latency.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import shutil
+import tempfile
+
+from repro.analysis.catalog import build_model_catalog
+from repro.serve import CatalogStore, ServeFront
+from repro.serve.loadgen import build_requests, run_load, run_stampede
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+HOT_QS = (1.0, 2.0, 4.0, 8.0)
+INTERP_QS = (1.5, 2.5, 3.0, 5.0, 6.0)
+MISS_QS = (40.0, 50.0)
+
+
+def run_benchmark(*, quick: bool = False) -> dict:
+    n_requests = 300 if quick else 2000
+    concurrency = 16
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="bench-serve-"))
+    try:
+        store = CatalogStore(tmp / "store")
+        store.ingest_model_catalog(
+            build_model_catalog(HOT_QS, samples=2048))
+        front = ServeFront(store)
+
+        async def drive() -> dict:
+            host, port = await front.start()
+            address = f"{host}:{port}"
+            try:
+                stampede = await run_stampede(address, 2.0, clients=32)
+                stampede["decodes"] = front.metrics.counter(
+                    "serve_decodes").value
+                stampede["coalesced"] = front.metrics.counter(
+                    "serve_coalesced").value
+                requests = build_requests(
+                    n_requests, hot_qs=list(HOT_QS),
+                    interp_qs=list(INTERP_QS), miss_qs=list(MISS_QS),
+                    seed=11)
+                load = await run_load(address, requests,
+                                      concurrency=concurrency)
+            finally:
+                await front.stop()
+            return {
+                "quick": quick,
+                "entries": len(store),
+                "stampede": stampede,
+                "load": load,
+                "hot_hit_ratio": front.hot.hit_ratio,
+            }
+
+        return asyncio.run(drive())
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def render(report: dict) -> str:
+    from repro.serve.loadgen import render_report
+
+    s = report["stampede"]
+    lines = [
+        "E-serve: catalog service latency (model-seeded store, "
+        f"{report['entries']} entries, single host)",
+        f"stampede: {s['clients']} clients on one cold key -> "
+        f"{s['decodes']:g} decode(s), {s['coalesced']:g} coalesced, "
+        f"{s['wall_seconds'] * 1e3:.1f} ms wall",
+        render_report(report["load"]),
+        f"hot-set hit ratio: {report['hot_hit_ratio']:.3f}",
+    ]
+    return "\n".join(lines)
+
+
+def test_serve_latency_quick():
+    """Pytest entry: quick-mode run with sanity floors."""
+    report = run_benchmark(quick=True)
+    # coalescing must collapse the stampede to one decode
+    assert report["stampede"]["decodes"] == 1
+    assert report["stampede"]["coalesced"] >= 1
+    assert report["load"]["failed"] == 0
+    # generous CI-box floors; EXPERIMENTS.md records the real numbers
+    assert report["load"]["requests_per_second"] > 20.0
+    hot = report["load"]["per_kind"].get("hot", {})
+    assert hot.get("p99_ms", 1e9) < 1_000.0
+    assert report["hot_hit_ratio"] > 0.5
+    print("\n" + render(report))
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true",
+                    help="smaller request count (CI smoke run)")
+    ap.add_argument("--json", type=pathlib.Path, default=None,
+                    help="write the machine-readable report here")
+    args = ap.parse_args()
+    report = run_benchmark(quick=args.quick)
+    text = render(report)
+    print(text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "serve_latency.txt").write_text(text + "\n")
+    if args.json is not None:
+        args.json.write_text(json.dumps(report, indent=2) + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,13 @@ class RunConfig:
     #: physics/solver kind: "bssn" (binary punctures on a graded grid) or
     #: "wave" (linear wave pulse on a uniform base grid + AMR regridding)
     solver: str = "bssn"
+    #: wave-solver initial data / driving: "pulse" (free Gaussian φ
+    #: pulse) or "imr" (zero initial data driven by a compact (2,2)
+    #: quadrupole source whose amplitude follows the model IMR chirp for
+    #: ``mass_ratio`` — the catalog-production mode: the extracted
+    #: waveform is an inspiral-merger-ringdown signal propagated through
+    #: the AMR grid, Fig. 21 style).  Ignored by the BSSN solver.
+    wave_source: str = "pulse"
     # binary
     mass_ratio: float = 1.0
     separation: float = 8.0
@@ -92,6 +99,8 @@ class RunConfig:
         """Raise ValueError on inconsistent parameters."""
         if self.solver not in ("bssn", "wave"):
             raise ValueError("solver must be 'bssn' or 'wave'")
+        if self.wave_source not in ("pulse", "imr"):
+            raise ValueError("wave_source must be 'pulse' or 'imr'")
         if self.backend not in ("numpy", "compiled", "auto"):
             raise ValueError("backend must be 'numpy', 'compiled' or 'auto'")
         if self.mass_ratio < 1.0:
@@ -176,6 +185,15 @@ class RunConfig:
             quasi_circular=self.quasi_circular,
         )
 
+    def wave_source_fn(self):
+        """The wave solver's source term for this config (None for the
+        free ``"pulse"`` evolution).  Checkpoint resume re-supplies this
+        — sources are physics, not state, and are never persisted."""
+        if self.solver == "wave" and self.wave_source == "imr":
+            return _imr_quadrupole_source(
+                self.mass_ratio, t_merge=0.45 * self.t_end)
+        return None
+
     def build_solver(self):
         """Mesh + initial data + solver, ready to step.
 
@@ -183,20 +201,28 @@ class RunConfig:
         deterministic Gaussian φ pulse (width 1.5, unit amplitude) as
         initial data — the free evolution is fully determined by the
         config, which is what makes job results content-addressable.
+        ``wave_source="imr"`` instead starts from zero data and drives
+        the grid with a compact quadrupolar source following the model
+        IMR chirp for ``mass_ratio`` (merger at 0.45·``t_end``), so the
+        extracted (2,2) mode is an IMR waveform propagated through the
+        AMR grid — equally deterministic, hence equally cacheable.
         """
         self.validate()
         if self.solver == "wave":
             from repro.solver import WaveSolver
 
+            source = self.wave_source_fn()
             solver = WaveSolver(
                 self.build_mesh(),
                 courant=self.courant,
                 ko_sigma=self.ko_sigma,
                 backend=self.backend,
+                source=source,
             )
-            coords = solver.coords()
-            r2 = (coords**2).sum(axis=-1)
-            solver.state[0] = np.exp(-r2 / 1.5**2)
+            if self.wave_source == "pulse":
+                coords = solver.coords()
+                r2 = (coords**2).sum(axis=-1)
+                solver.state[0] = np.exp(-r2 / 1.5**2)
             return solver
         from repro.solver import BSSNSolver
 
@@ -206,6 +232,30 @@ class RunConfig:
         )
         solver.set_punctures(self.build_punctures())
         return solver
+
+
+def _imr_quadrupole_source(mass_ratio: float, *, t_merge: float,
+                           width: float = 1.2):
+    """A compact (2,2)-quadrupole source term for the wave solver whose
+    time dependence follows the model IMR chirp (Fig. 21 harness) —
+    a pure function of (mass_ratio, t_merge), so runs stay
+    content-addressable."""
+    from repro.gw.swsh import ylm
+    from repro.gw.waveform import IMRWaveform
+
+    wf = IMRWaveform(mass_ratio=float(mass_ratio), t_merge=float(t_merge),
+                     amplitude=1.0)
+
+    def source(coords, t):
+        x, y, z = coords[..., 0], coords[..., 1], coords[..., 2]
+        r = np.sqrt(x * x + y * y + z * z)
+        safe = np.maximum(r, 1e-12)
+        th = np.arccos(np.clip(z / safe, -1.0, 1.0))
+        ph = np.arctan2(y, x)
+        a = np.real(wf.h(np.array([t])))[0]
+        return a * np.exp(-((r / width) ** 2)) * np.real(ylm(2, 2, th, ph))
+
+    return source
 
 
 #: presets mirroring the artifact's parameter files (toy-scale depth)

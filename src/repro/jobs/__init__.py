@@ -30,7 +30,7 @@ schedules, shards, and serves many such runs at once:
 """
 
 from .backoff import Backoff
-from .cache import ResultCache
+from .cache import CacheEntry, ResultCache
 from .campaign import (
     Campaign,
     campaign_report,
@@ -60,6 +60,7 @@ __all__ = [
     "PENDING",
     "RUNNING",
     "Backoff",
+    "CacheEntry",
     "Campaign",
     "JobError",
     "JobQueue",

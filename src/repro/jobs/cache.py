@@ -20,11 +20,28 @@ import json
 import os
 import pathlib
 import shutil
+import zipfile
+from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 RESULT_FILE = "result.json"
 ARRAYS_FILE = "arrays.npz"
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One enumerated cache entry: key, decoded result payload, entry
+    directory, total on-disk bytes, and whether an array file exists
+    (existence, not integrity — a torn file still reads as None from
+    :meth:`ResultCache.arrays`)."""
+
+    key: str
+    result: dict
+    path: pathlib.Path
+    nbytes: int
+    has_arrays: bool
 
 
 class ResultCache:
@@ -48,12 +65,21 @@ class ResultCache:
             return None
 
     def arrays(self, key: str) -> dict[str, np.ndarray] | None:
-        """Cached array outputs for ``key``, or None."""
+        """Cached array outputs for ``key``, or None.
+
+        None covers the benign failure modes an ingest scan must shrug
+        off — no array file, or one torn mid-write by a killed worker
+        (truncated zip, undecodable member) — so callers can treat
+        "arrays unavailable" uniformly instead of catching numpy/zipfile
+        internals.
+        """
         path = self._entry(key) / ARRAYS_FILE
-        if not path.exists():
+        try:
+            with np.load(path) as data:
+                return {name: np.array(data[name]) for name in data.files}
+        except (OSError, ValueError, EOFError, zipfile.BadZipFile,
+                KeyError):
             return None
-        with np.load(path) as data:
-            return {name: np.array(data[name]) for name in data.files}
 
     def put(self, key: str, result: dict,
             arrays: dict[str, np.ndarray] | None = None) -> dict:
@@ -90,9 +116,40 @@ class ResultCache:
     def __contains__(self, key: str) -> bool:
         return self.get(key) is not None
 
-    def __len__(self) -> int:
-        return sum(
-            1 for p in self.root.iterdir()
+    def keys(self) -> list[str]:
+        """Keys of every complete entry (``result.json`` present),
+        sorted for deterministic scans."""
+        return sorted(
+            p.name for p in self.root.iterdir()
             if p.is_dir() and not p.name.startswith(".")
             and (p / RESULT_FILE).exists()
         )
+
+    def iter_entries(self) -> Iterator[CacheEntry]:
+        """Enumerate complete entries with their payloads and sizes.
+
+        Entries whose ``result.json`` turns out unreadable between the
+        directory listing and the read (a concurrent writer, a torn
+        file) are skipped — enumeration never raises on cache content.
+        """
+        for key in self.keys():
+            result = self.get(key)
+            if result is None:
+                continue
+            entry = self._entry(key)
+            nbytes = 0
+            for p in entry.iterdir():
+                try:
+                    nbytes += p.stat().st_size
+                except OSError:
+                    pass
+            yield CacheEntry(key=key, result=result, path=entry,
+                             nbytes=nbytes,
+                             has_arrays=(entry / ARRAYS_FILE).exists())
+
+    def total_bytes(self) -> int:
+        """Total on-disk footprint of every complete entry."""
+        return sum(e.nbytes for e in self.iter_entries())
+
+    def __len__(self) -> int:
+        return len(self.keys())

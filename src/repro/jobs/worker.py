@@ -63,10 +63,38 @@ def _build_or_resume(config: RunConfig, checkpoint_dir: pathlib.Path):
     if path is None:
         return config.build_solver(), None
     if config.solver == "wave":
-        return restore_wave_solver(path, ko_sigma=config.ko_sigma), path
+        return restore_wave_solver(path, ko_sigma=config.ko_sigma,
+                                   source=config.wave_source_fn()), path
     from repro.io import restore_solver
 
     return restore_solver(path, config.bssn_params()), path
+
+
+def _make_extractor(config: RunConfig, solver, resumed_from):
+    """(extractor, on_step) archiving the (2,2) mode at the config's
+    extraction radii every ``extract_every`` accepted steps.
+
+    Only complete series are archived: a run resumed from a checkpoint
+    has already lost its early samples, so extraction is skipped there
+    (the cache entry then simply carries no arrays — consumers like the
+    catalog ingest treat that as "no waveform", not an error).
+    """
+    if (config.solver != "wave" or not config.extraction_radii
+            or config.extract_every <= 0 or resumed_from is not None):
+        return None, None
+    from repro.gw import WaveExtractor
+
+    extractor = WaveExtractor(list(config.extraction_radii),
+                              l_max=max(2, config.l_max), s=0)
+    extractor.sample(solver.mesh, solver.state[0], solver.t)
+    counter = {"n": 0}
+
+    def on_step(s) -> None:
+        counter["n"] += 1
+        if counter["n"] % config.extract_every == 0:
+            extractor.sample(s.mesh, s.state[0], s.t)
+
+    return extractor, on_step
 
 
 def execute_job(root, record: dict, queue: JobQueue, *,
@@ -137,6 +165,8 @@ def execute_job(root, record: dict, queue: JobQueue, *,
             return False
         return queue.preempt_requested(job_id)
 
+    extractor, on_step = _make_extractor(config, solver, resumed_from)
+
     run = SupervisedRun(
         solver,
         policy=RetryPolicy(),
@@ -154,6 +184,7 @@ def execute_job(root, record: dict, queue: JobQueue, *,
             regrid_every=config.regrid_every,
             regrid_eps=config.regrid_eps,
             max_level=config.max_level,
+            on_step=on_step,
         )
     finally:
         sink.finalize(solver)
@@ -184,7 +215,32 @@ def execute_job(root, record: dict, queue: JobQueue, *,
     }
     if config.solver == "wave":
         result["energy"] = solver.energy()
-    cache.put(record["cache_key"], result)
+    arrays = None
+    if extractor is not None:
+        # archive the extracted (2,2) series so the waveform catalog
+        # service (repro.serve) can ingest this result without re-running
+        arrays = {}
+        for r in config.extraction_radii:
+            t_ex, h22 = extractor.series(r, 2, 2)
+            arrays["times"] = np.asarray(t_ex, dtype=np.float64)
+            arrays[f"h22_r{r:g}"] = np.asarray(h22, dtype=complex)
+        result["waveform"] = {
+            "kind": "wave_phi22",
+            "radii": [float(r) for r in config.extraction_radii],
+            "samples": int(len(arrays["times"])),
+            "l": 2, "m": 2,
+        }
+        result["physics"] = {
+            "solver": config.solver,
+            "wave_source": config.wave_source,
+            "mass_ratio": float(config.mass_ratio),
+            "total_mass": float(config.total_mass),
+            "separation": float(config.separation),
+            "max_level": int(config.max_level),
+            "base_level": int(config.base_level),
+            "extraction_radii": [float(r) for r in config.extraction_radii],
+        }
+    cache.put(record["cache_key"], result, arrays)
     return {"outcome": "done", "result": result}
 
 

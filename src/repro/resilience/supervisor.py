@@ -371,8 +371,15 @@ class SupervisedRun:
 
     # -- driving ---------------------------------------------------------
     def run(self, t_end: float, *, regrid_every: int = 0,
-            regrid_eps: float = 1e-3, max_level: int | None = None) -> dict:
-        """March to ``t_end`` under supervision; returns the run report."""
+            regrid_eps: float = 1e-3, max_level: int | None = None,
+            on_step=None) -> dict:
+        """March to ``t_end`` under supervision; returns the run report.
+
+        ``on_step(solver)`` is invoked after every *accepted* step —
+        i.e. after any rollback/retry inside :meth:`step` has resolved —
+        which is where waveform extraction samplers hook in (a sample is
+        never taken from a state that is later rolled back).
+        """
         solver = self.solver
         while solver.t < t_end - 1e-12:
             if self.preempt_check is not None and self.preempt_check():
@@ -393,6 +400,8 @@ class SupervisedRun:
                     self.journal.event("regrid", step=solver.step_count,
                                        octants=solver.mesh.num_octants)
             self.step()
+            if on_step is not None:
+                on_step(solver)
             if self.telemetry is not None:
                 self.telemetry.on_step(solver)
             if (

@@ -1,0 +1,141 @@
+"""Clients for the serve front — blocking and asyncio flavours.
+
+:class:`ServeClient` is the simple synchronous handle the CLI and tests
+use: one persistent connection, framed request/response, one
+transparent reconnect on a dead socket.  :class:`AsyncServeClient` is
+the same protocol on asyncio streams — the load generator drives many
+of them concurrently from one event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+from repro.jobs.fabric.protocol import recv_frame, send_frame
+
+from .protocol import read_frame_async, write_frame_async
+
+
+class ServeError(RuntimeError):
+    """The server answered ``ok: false`` or the connection failed."""
+
+
+def _parse_address(address) -> tuple[str, int]:
+    if isinstance(address, (tuple, list)):
+        return str(address[0]), int(address[1])
+    host, _, port = str(address).rpartition(":")
+    return host or "127.0.0.1", int(port)
+
+
+class ServeClient:
+    """Blocking client: ``ServeClient("127.0.0.1:7777").query(2.5)``."""
+
+    def __init__(self, address, *, timeout: float = 10.0):
+        self.host, self.port = _parse_address(address)
+        self.timeout = float(timeout)
+        self._sock: socket.socket | None = None
+
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout)
+        return self._sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def request(self, req: dict) -> dict:
+        """One framed round trip; reconnects once on a dead socket."""
+        for attempt in (0, 1):
+            sock = self._connect()
+            try:
+                send_frame(sock, req)
+                resp = recv_frame(sock)
+                if resp is None:
+                    raise ConnectionError("server closed the connection")
+                return resp
+            except (ConnectionError, socket.timeout, OSError):
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _call(self, req: dict) -> dict:
+        resp = self.request(req)
+        if not resp.get("ok", False):
+            raise ServeError(resp.get("error", "request failed"))
+        return resp
+
+    def ping(self) -> dict:
+        return self._call({"op": "ping"})
+
+    def query(self, mass_ratio: float, **fields) -> dict:
+        """Query a waveform; see the front's ``query`` op for fields
+        (detector, f_lo/f_hi, total_mass_msun, distance_mpc,
+        max_samples, radius, resolution, max_mismatch)."""
+        return self._call({"op": "query", "mass_ratio": float(mass_ratio),
+                           **fields})
+
+    def ticket(self, ticket_id: str) -> dict:
+        return self._call({"op": "ticket", "id": ticket_id})
+
+    def ingest(self) -> dict:
+        return self._call({"op": "ingest"})
+
+    def stats(self) -> dict:
+        return self._call({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        return self._call({"op": "shutdown"})
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class AsyncServeClient:
+    """Asyncio client over one connection (load-generator worker)."""
+
+    def __init__(self, address, *, timeout: float = 10.0):
+        self.host, self.port = _parse_address(address)
+        self.timeout = float(timeout)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> None:
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port), self.timeout)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def request(self, req: dict) -> dict:
+        await self.connect()
+        await write_frame_async(self._writer, req)
+        resp = await asyncio.wait_for(read_frame_async(self._reader),
+                                      self.timeout)
+        if resp is None:
+            raise ConnectionError("server closed the connection")
+        return resp
+
+    async def query(self, mass_ratio: float, **fields) -> dict:
+        resp = await self.request({"op": "query",
+                                   "mass_ratio": float(mass_ratio),
+                                   **fields})
+        if not resp.get("ok", False):
+            raise ServeError(resp.get("error", "request failed"))
+        return resp

@@ -1,0 +1,58 @@
+"""Asyncio framing for the serve front — the fabric wire format.
+
+The serve front speaks exactly the fabric's length-prefixed JSON frames
+(:mod:`repro.jobs.fabric.protocol`: 4-byte big-endian length + UTF-8
+JSON), so the same netcat-grade simplicity, the same chaos tooling, and
+the same frame-size discipline apply; only the transport is asyncio
+streams instead of blocking sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+from repro.jobs.fabric.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    encode_frame,
+)
+
+_LEN = struct.Struct(">I")
+
+
+async def read_frame_async(reader: asyncio.StreamReader):
+    """Read one frame, or None on clean EOF between frames.
+
+    EOF inside a frame — header torn, or payload shorter than the
+    header promised — raises :class:`ProtocolError`, mirroring the
+    blocking reader's contract.
+    """
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-header ({len(exc.partial)}/"
+            f"{_LEN.size} bytes)") from exc
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds "
+                            f"{MAX_FRAME_BYTES}")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed between header and payload") \
+            from exc
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from exc
+
+
+async def write_frame_async(writer: asyncio.StreamWriter, obj) -> None:
+    """Write one message as a frame and drain the transport."""
+    writer.write(encode_frame(obj))
+    await writer.drain()

@@ -68,3 +68,95 @@ class TestPersistence:
             b = loaded.entry(q)
             assert np.allclose(a.h22, b.h22)
             assert np.allclose(a.times, b.times)
+
+
+class TestLoadValidation:
+    def _saved(self, catalog, tmp_path):
+        catalog.save(tmp_path / "cat")
+        return tmp_path / "cat"
+
+    def test_torn_file_skipped_with_warning(self, catalog, tmp_path):
+        d = self._saved(catalog, tmp_path)
+        victim = d / "q2.npz"
+        victim.write_bytes(victim.read_bytes()[:100])
+        with pytest.warns(UserWarning, match="corrupt"):
+            loaded = WaveformCatalog.load(d)
+        assert len(loaded) == 2
+        assert loaded.skipped == 1
+        assert np.allclose(loaded.mass_ratios, [1.0, 4.0])
+
+    def test_mismatched_grid_skipped(self, catalog, tmp_path):
+        from repro.gw.extraction import ModeTimeSeries
+        from repro.io.waveforms import save_modes
+
+        d = self._saved(catalog, tmp_path)
+        series = ModeTimeSeries()
+        for t in np.linspace(0.0, 5.0, 16):
+            series.append(float(t), {(2, 2): 1.0 + 0j})
+        save_modes(d / "q3.npz", series, radius=float("inf"),
+                   metadata={"mass_ratio": 3.0})
+        with pytest.warns(UserWarning, match="time grid"):
+            loaded = WaveformCatalog.load(d)
+        assert len(loaded) == 3
+        assert loaded.skipped == 1
+
+    def test_nonfinite_samples_skipped(self, catalog, tmp_path):
+        from repro.gw.extraction import ModeTimeSeries
+        from repro.io.waveforms import save_modes
+
+        d = self._saved(catalog, tmp_path)
+        series = ModeTimeSeries()
+        grid = catalog.entries[0].times
+        for i, t in enumerate(grid):
+            series.append(float(t),
+                          {(2, 2): complex(np.nan if i == 3 else 1.0)})
+        save_modes(d / "q0.5.npz", series, radius=float("inf"),
+                   metadata={"mass_ratio": 0.5})
+        with pytest.warns(UserWarning, match="non-finite"):
+            loaded = WaveformCatalog.load(d)
+        assert loaded.skipped == 1
+        assert len(loaded) == 3
+
+
+class TestInterpolate:
+    def test_bracket(self, catalog):
+        from repro.analysis.catalog import InterpolationError
+
+        lo, hi = catalog.bracket(1.5)
+        assert (lo.mass_ratio, hi.mass_ratio) == (1.0, 2.0)
+        exact_lo, exact_hi = catalog.bracket(2.0)
+        assert exact_lo is exact_hi
+        for outside in (0.5, 8.0):
+            with pytest.raises(InterpolationError):
+                catalog.bracket(outside)
+
+    def test_exact_point_passthrough(self, catalog):
+        e = catalog.interpolate(2.0)
+        assert not e.metadata["interpolated"]
+        assert e.metadata["interpolation_mismatch_bound"] == 0.0
+        assert np.allclose(e.h22, catalog.entry(2.0).h22)
+
+    def test_bound_is_conservative(self, catalog):
+        """The bracket-endpoint mismatch bounds the interpolant's true
+        error (measured directly against a model waveform)."""
+        from repro.gw.compare import mismatch
+
+        q = 1.5
+        e = catalog.interpolate(q)
+        assert e.metadata["interpolated"]
+        assert e.metadata["bracket"] == [1.0, 2.0]
+        bound = e.metadata["interpolation_mismatch_bound"]
+        truth = build_model_catalog((q,), samples=1024,
+                                    duration=200.0).entry(q)
+        dt = float(e.times[1] - e.times[0])
+        actual = mismatch(e.h22, truth.h22, dt)
+        assert 0.0 < actual < bound
+
+    def test_budget_admission(self, catalog):
+        from repro.analysis.catalog import InterpolationError
+
+        with pytest.raises(InterpolationError, match="exceeds"):
+            catalog.interpolate(3.0, max_mismatch=1e-9)
+        # a generous budget admits the same point
+        e = catalog.interpolate(3.0, max_mismatch=0.9)
+        assert e.metadata["bracket"] == [2.0, 4.0]

@@ -1,0 +1,101 @@
+"""Tests for detector post-processing (PSDs, bandpass, SNR)."""
+
+import numpy as np
+import pytest
+
+from repro.gw.detector import (
+    aplus_asd,
+    bandpass,
+    ce_asd,
+    physical_strain,
+    snr_estimate,
+)
+
+
+class TestPSDModels:
+    @pytest.mark.parametrize("asd", [aplus_asd, ce_asd],
+                             ids=["aplus", "ce"])
+    def test_finite_positive_over_band(self, asd):
+        f = np.linspace(5.0, 4096.0, 2000)
+        s = asd(f)
+        assert np.all(np.isfinite(s))
+        assert np.all(s > 0.0)
+
+    def test_ce_deeper_than_aplus_in_band(self):
+        f = np.linspace(30.0, 500.0, 200)
+        assert np.all(ce_asd(f) < aplus_asd(f))
+
+    def test_aplus_minimum_near_published_shape(self):
+        f = np.linspace(20.0, 2000.0, 5000)
+        s = aplus_asd(f)
+        f_min = f[np.argmin(s)]
+        assert 100.0 < f_min < 500.0
+        assert 5e-25 < s.min() < 5e-24
+
+
+class TestBandpass:
+    def test_f_hi_at_nyquist_is_identity_above_f_lo(self):
+        """f_hi >= Nyquist must not clip anything at the top edge."""
+        rng = np.random.default_rng(3)
+        n, dt = 256, 1.0 / 1024.0
+        x = rng.normal(size=n)
+        nyquist = 0.5 / dt
+        out = bandpass(x, dt, 0.0, nyquist)
+        assert np.allclose(out, x)
+        # beyond Nyquist behaves identically (mask selects nothing)
+        assert np.allclose(bandpass(x, dt, 0.0, 10.0 * nyquist), x)
+
+    def test_kills_out_of_band_tone(self):
+        n, dt = 1024, 1.0 / 1024.0
+        t = np.arange(n) * dt
+        lo_tone = np.sin(2 * np.pi * 16.0 * t)
+        hi_tone = np.sin(2 * np.pi * 300.0 * t)
+        out = bandpass(lo_tone + hi_tone, dt, 100.0, 400.0)
+        assert np.abs(out - hi_tone).max() < 1e-10
+
+    def test_preserves_length(self):
+        x = np.ones(501)
+        assert bandpass(x, 0.01, 1.0, 10.0).shape == x.shape
+
+
+class TestSNR:
+    def test_sinusoid_closed_form(self):
+        """For h = A sin(2π f0 t) over duration T against a flat ASD
+        √S0, the matched filter gives ρ = A √(T / S0)."""
+        n, dt = 4096, 1.0 / 512.0
+        T = n * dt
+        k = 64  # bin-centred tone: f0 = k / T
+        f0 = k / T
+        A, S0 = 3.0, 2.5
+        t = np.arange(n) * dt
+        h = A * np.sin(2 * np.pi * f0 * t)
+        rho = snr_estimate(h, dt, lambda f: np.sqrt(S0) * np.ones_like(f))
+        assert rho == pytest.approx(A * np.sqrt(T / S0), rel=1e-6)
+
+    def test_scales_linearly_with_amplitude(self):
+        n, dt = 2048, 1.0 / 256.0
+        t = np.arange(n) * dt
+        h = np.sin(2 * np.pi * 32.0 * t) * np.exp(-(((t - 4.0) / 1.0) ** 2))
+        r1 = snr_estimate(h, dt, ce_asd)
+        r2 = snr_estimate(2.0 * h, dt, ce_asd)
+        assert r2 == pytest.approx(2.0 * r1, rel=1e-9)
+        assert np.isfinite(r1) and r1 > 0.0
+
+
+class TestPhysicalStrain:
+    def test_scaling(self):
+        t = np.linspace(0.0, 100.0, 64)
+        h = np.exp(1j * t) * 0.3
+        t1, s1 = physical_strain(h, t, total_mass_msun=65.0,
+                                 distance_mpc=410.0)
+        t2, s2 = physical_strain(h, t, total_mass_msun=130.0,
+                                 distance_mpc=410.0)
+        _, s3 = physical_strain(h, t, total_mass_msun=65.0,
+                                distance_mpc=820.0)
+        # time and strain both scale linearly with total mass
+        assert np.allclose(t2, 2.0 * t1)
+        assert np.allclose(s2, 2.0 * s1)
+        # strain falls off as 1/distance
+        assert np.allclose(s3, 0.5 * s1)
+        # GW150914-like numbers land near 1e-21
+        assert 1e-23 < np.abs(s1).max() < 1e-19

@@ -260,3 +260,47 @@ class TestInFlightDedup:
         q.complete(first["id"], {})
         got3 = q.claim("w2")
         assert got3["id"] == dup["id"]  # now claimable → cache hit
+
+
+class TestCacheEnumeration:
+    """keys()/iter_entries()/total_bytes() — the ingest scan's API."""
+
+    def test_keys_sorted_and_len(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for k in ("b" * 8, "a" * 8, "c" * 8):
+            cache.put(k, {"k": k})
+        assert cache.keys() == sorted(["a" * 8, "b" * 8, "c" * 8])
+        assert len(cache) == 3
+
+    def test_iter_entries_reports_sizes_and_arrays(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 8, {"n": 1})
+        cache.put("b" * 8, {"n": 2},
+                  arrays={"x": np.arange(64, dtype=np.float64)})
+        entries = {e.key: e for e in cache.iter_entries()}
+        assert set(entries) == {"a" * 8, "b" * 8}
+        assert not entries["a" * 8].has_arrays
+        assert entries["b" * 8].has_arrays
+        assert entries["b" * 8].result == {"n": 2}
+        assert entries["b" * 8].nbytes > entries["a" * 8].nbytes
+        assert cache.total_bytes() == sum(e.nbytes
+                                          for e in entries.values())
+
+    def test_iter_entries_skips_unreadable_results(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 8, {"ok": True})
+        cache.put("b" * 8, {"ok": True})
+        (tmp_path / ("b" * 8) / "result.json").write_text("{torn")
+        assert [e.key for e in cache.iter_entries()] == ["a" * 8]
+
+    def test_torn_arrays_return_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 8, {"ok": True},
+                  arrays={"x": np.arange(1000, dtype=np.float64)})
+        npz = tmp_path / ("a" * 8) / "arrays.npz"
+        npz.write_bytes(npz.read_bytes()[:64])  # torn by a crash
+        assert cache.arrays("a" * 8) is None
+        # the entry itself is still enumerable with its result intact
+        [entry] = list(cache.iter_entries())
+        assert entry.has_arrays  # file exists, even if unreadable
+        assert entry.result == {"ok": True}

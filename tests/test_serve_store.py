@@ -1,0 +1,153 @@
+"""Tests for the serve subsystem's CatalogStore (index + query plans)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.catalog import build_model_catalog
+from repro.jobs.cache import ResultCache
+from repro.serve.store import CatalogStore, StoreError
+
+
+@pytest.fixture(scope="module")
+def model_catalog():
+    return build_model_catalog((1.0, 2.0, 4.0), samples=512,
+                               duration=200.0)
+
+
+@pytest.fixture
+def store(tmp_path, model_catalog):
+    s = CatalogStore(tmp_path / "store")
+    s.ingest_model_catalog(model_catalog)
+    return s
+
+
+class TestIngest:
+    def test_model_catalog(self, store):
+        assert len(store) == 3
+        stats = store.stats()
+        assert stats["entries"] == 3
+        assert stats["families"] == 1
+        assert stats["q_min"] == 1.0 and stats["q_max"] == 4.0
+        assert stats["bytes"] > 0
+
+    def test_idempotent(self, store, model_catalog):
+        keys1 = store.ingest_model_catalog(model_catalog)
+        keys2 = store.ingest_model_catalog(model_catalog)
+        assert keys1 == keys2
+        assert len(store) == 3
+
+    def test_persists_across_instances(self, store, tmp_path):
+        again = CatalogStore(store.root)
+        assert len(again) == 3
+        assert again.query_plan(2.0)["outcome"] == "exact"
+
+    def test_rejects_bad_waveforms(self, store):
+        with pytest.raises(StoreError):
+            store.add_waveform(3.0, [0.0], [1.0 + 0j], source="x")
+        with pytest.raises(StoreError):
+            store.add_waveform(3.0, [0.0, 1.0], [np.nan, 1.0 + 0j],
+                               source="x")
+
+    def test_cache_ingest_skips_arrayless(self, tmp_path, store):
+        cache = ResultCache(tmp_path / "cache")
+        t = np.linspace(0.0, 1.0, 32)
+        h = np.exp(1j * t)
+        cache.put("a" * 64, {"physics": {"mass_ratio": 3.0,
+                                         "extraction_radii": [2.0],
+                                         "max_level": 2}},
+                  arrays={"times": t, "h22_r2": h})
+        cache.put("b" * 64, {"physics": {"mass_ratio": 5.0,
+                                         "extraction_radii": [2.0]}})
+        cache.put("c" * 64, {"no_physics": True})
+        report = store.ingest_cache(cache)
+        assert report["ingested"] == 1
+        assert report["skipped"] == 2
+        # second scan: already indexed, nothing new
+        again = store.ingest_cache(cache)
+        assert again["ingested"] == 0
+        assert again["already"] == 1
+
+
+class TestReadPath:
+    def test_load_arrays_roundtrip(self, store, model_catalog):
+        plan = store.query_plan(2.0)
+        arrays = store.load_arrays(plan["key"])
+        ref = model_catalog.entry(2.0)
+        assert np.allclose(arrays["times"], ref.times)
+        assert np.allclose(arrays["h22"], ref.h22)
+
+    def test_unknown_key(self, store):
+        with pytest.raises(StoreError):
+            store.load_arrays("nope")
+        with pytest.raises(StoreError):
+            store.entry_meta("nope")
+
+    def test_torn_file_detected(self, store):
+        key = store.query_plan(1.0)["key"]
+        path = store.root / "waveforms" / f"{key}.npz"
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(StoreError, match="unreadable|torn"):
+            store.load_arrays(key)
+
+
+class TestQueryPlan:
+    def test_exact(self, store):
+        plan = store.query_plan(2.0)
+        assert plan["outcome"] == "exact"
+        assert plan["mismatch_bound"] == 0.0
+        assert store.entry_meta(plan["key"])["mass_ratio"] == 2.0
+
+    def test_interp_carries_gap_bound(self, store):
+        plan = store.query_plan(1.5)
+        assert plan["outcome"] == "interp"
+        qs = [store.entry_meta(k)["mass_ratio"] for k in plan["keys"]]
+        assert qs == [1.0, 2.0]
+        assert plan["weight"] == pytest.approx(0.5)
+        # the bound is the stored adjacent mismatch of the bracket
+        a = store.load_arrays(plan["keys"][0])
+        b = store.load_arrays(plan["keys"][1])
+        from repro.gw.compare import mismatch
+
+        dt = float(a["times"][1] - a["times"][0])
+        assert plan["mismatch_bound"] == pytest.approx(
+            mismatch(a["h22"], b["h22"], dt))
+
+    def test_out_of_range_misses(self, store):
+        plan = store.query_plan(40.0)
+        assert plan["outcome"] == "miss"
+        assert plan["q_range"] == [1.0, 4.0]
+        assert "outside covered range" in plan["reason"]
+        assert store.entry_meta(plan["nearest"])["mass_ratio"] == 4.0
+
+    def test_budget_turns_interp_into_miss(self, store):
+        ok = store.query_plan(3.0)
+        assert ok["outcome"] == "interp"
+        tight = store.query_plan(3.0, max_interp_mismatch=1e-6)
+        assert tight["outcome"] == "miss"
+        assert "exceeds budget" in tight["reason"]
+
+    def test_families_do_not_mix_grids(self, store):
+        # an entry on a different grid cannot bracket-interpolate with
+        # the model family even though its q falls inside the range
+        t = np.linspace(0.0, 10.0, 64)
+        store.add_waveform(2.5, t, np.exp(1j * t), source="odd-grid")
+        plan = store.query_plan(2.25)
+        assert plan["outcome"] == "interp"
+        qs = sorted(store.entry_meta(k)["mass_ratio"]
+                    for k in plan["keys"])
+        assert qs == [2.0, 4.0]  # model family, not the odd-grid entry
+
+    def test_filters(self, store):
+        t = np.linspace(0.0, 10.0, 64)
+        store.add_waveform(2.0, t, np.exp(1j * t), radius=50.0,
+                           resolution=7, source="hi-res")
+        # exact prefers the highest resolution
+        plan = store.query_plan(2.0)
+        assert store.entry_meta(plan["key"])["resolution"] == 7
+        # filtering by radius picks the matching entry
+        plan = store.query_plan(2.0, radius=50.0)
+        assert store.entry_meta(plan["key"])["source"] == "hi-res"
+        plan = store.query_plan(2.0, resolution=0)
+        assert store.entry_meta(plan["key"])["resolution"] == 0
+        # filters that nothing satisfies are an empty-catalog miss
+        assert store.query_plan(2.0, radius=999.0)["outcome"] == "miss"
